@@ -1,0 +1,170 @@
+// Ablations over the design choices DESIGN.md calls out:
+//  A. partition shape for local scheduling (wrapped vs block),
+//  B. inspector parallelization (sequential vs striped busy-wait sweep),
+//  C. ILU fill level (preconditioner quality vs triangular-solve shape),
+//  D. schedule indirection (doacross vs reordered self-executing loop).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/executors.hpp"
+#include "core/partition.hpp"
+#include "core/schedule.hpp"
+#include "solver/ilu_preconditioner.hpp"
+#include "solver/krylov.hpp"
+
+int main() {
+  using namespace rtl;
+  using namespace rtl::bench;
+  const int p = default_procs();
+  const int reps = default_reps();
+  ThreadTeam team(p);
+
+  // --- A: wrapped vs block partition under local scheduling -------------
+  std::printf("A. Local scheduling partition shape (%d procs, self-exec)\n",
+              p);
+  std::printf("%-8s %12s %12s %14s %14s\n", "Problem", "wrap (ms)",
+              "block (ms)", "E_sym(wrap)", "E_sym(block)");
+  for (const auto& c : table23_cases()) {
+    const auto sw =
+        local_schedule(c.wavefronts, wrapped_partition(c.graph.size(), p));
+    const auto sb =
+        local_schedule(c.wavefronts, block_partition(c.graph.size(), p));
+    const double tw = time_self_lower_ms(team, c, sw, reps);
+    const double tb = time_self_lower_ms(team, c, sb, reps);
+    const auto ew = estimate_self_executing(sw, c.graph, c.work);
+    const auto eb = estimate_self_executing(sb, c.graph, c.work);
+    std::printf("%-8s %12.3f %12.3f %14.3f %14.3f\n", c.name.c_str(), tw, tb,
+                ew.efficiency, eb.efficiency);
+  }
+
+  // --- B: inspector parallelization --------------------------------------
+  std::printf("\nB. Topological sort: sequential vs parallel sweep (ms)\n");
+  std::printf("%-8s %10s %10s %9s\n", "Problem", "seq", "parallel",
+              "speedup");
+  for (const auto& c : table23_cases()) {
+    const double ts =
+        min_time_ms(reps, [&] { (void)compute_wavefronts(c.graph); });
+    const double tp = min_time_ms(
+        reps, [&] { (void)compute_wavefronts_parallel(c.graph, team); });
+    std::printf("%-8s %10.3f %10.3f %9.2f\n", c.name.c_str(), ts, tp,
+                ts / tp);
+  }
+
+  // --- C: ILU fill level --------------------------------------------------
+  std::printf(
+      "\nC. ILU(k) fill level on 5-PT: GMRES iterations vs solve shape\n");
+  std::printf("%5s %10s %10s %8s %12s\n", "level", "nnz(L+U)", "waves",
+              "iters", "solve (ms)");
+  const auto sys5 = make_5pt().system;
+  for (const int level : {0, 1, 2}) {
+    DoconsiderOptions opts;
+    opts.execution = ExecutionPolicy::kSelfExecuting;
+    IluPreconditioner precond(team, sys5.a, level, opts);
+    precond.factor(team, sys5.a);
+    const auto g = lower_solve_dependences(precond.factors().lower());
+    const auto wf = compute_wavefronts(g);
+    std::vector<real_t> x(static_cast<std::size_t>(sys5.a.rows()), 0.0);
+    KrylovOptions kopt;
+    kopt.rtol = 1e-8;
+    kopt.max_iterations = 300;
+    WallTimer t;
+    const auto res = gmres_solve(team, sys5.a, sys5.rhs, x, &precond, kopt);
+    std::printf("%5d %10d %10d %8d %12.1f\n", level,
+                precond.factors().lower().nnz() +
+                    precond.factors().upper().nnz(),
+                wf.num_waves, res.iterations, t.elapsed_ms());
+  }
+
+  // --- E: static vs dynamic self-scheduling + parallel global scheduler --
+  std::printf(
+      "\nE. Extensions: fetch-and-add self-scheduling and parallel global\n"
+      "   scheduler (%d procs)\n",
+      p);
+  std::printf("%-8s %12s %12s | %12s %12s\n", "Problem", "static(ms)",
+              "dynamic(ms)", "globsched", "globsched-par");
+  for (const auto& c : table23_cases()) {
+    const auto s = global_schedule(c.wavefronts, p);
+    const auto order = wavefront_sorted_list(c.wavefronts);
+    const double t_static = time_self_lower_ms(team, c, s, reps);
+
+    std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
+    ReadyFlags ready(c.graph.size());
+    const int amp = work_amp();
+    const double t_dynamic = min_time_ms(reps, [&] {
+      execute_self_scheduled(team, order, c.graph, ready, [&](index_t i) {
+        const auto cs = c.ilu.lower().row_cols(i);
+        const auto vs = c.ilu.lower().row_vals(i);
+        real_t sum = 0.0;
+        for (int rep = 0; rep < amp; ++rep) {
+          sum = c.system.rhs[static_cast<std::size_t>(i)];
+          for (std::size_t k = 0; k < cs.size(); ++k) {
+            sum -= vs[k] * y[static_cast<std::size_t>(cs[k])];
+          }
+          do_not_optimize(sum);
+        }
+        y[static_cast<std::size_t>(i)] = sum;
+      });
+    });
+
+    const double t_sched = min_time_ms(
+        reps, [&] { (void)global_schedule(c.wavefronts, p); });
+    const double t_sched_par = min_time_ms(reps, [&] {
+      (void)global_schedule_parallel(c.wavefronts, p, team);
+    });
+    std::printf("%-8s %12.3f %12.3f | %12.3f %12.3f\n", c.name.c_str(),
+                t_static, t_dynamic, t_sched, t_sched_par);
+  }
+
+  // --- F: windowed hybrid executor ---------------------------------------
+  std::printf(
+      "\nF. Windowed hybrid: barrier every W wavefronts, flags inside\n"
+      "   (W=1 ~ pre-scheduled + flags, W=inf ~ self-executing)\n");
+  std::printf("%-8s", "Problem");
+  const index_t windows[] = {1, 2, 4, 16, 1 << 30};
+  for (const index_t w : windows) {
+    if (w > (1 << 20)) {
+      std::printf(" %9s", "inf");
+    } else {
+      std::printf(" %8d ", w);
+    }
+  }
+  std::printf("\n");
+  for (const auto& c : table23_cases()) {
+    const auto s = global_schedule(c.wavefronts, p);
+    std::printf("%-8s", c.name.c_str());
+    for (const index_t w : windows) {
+      std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
+      ReadyFlags ready(c.graph.size());
+      const int amp = work_amp();
+      const double ms = min_time_ms(reps, [&] {
+        execute_windowed(team, s, c.graph, ready, w, [&](index_t i) {
+          const auto cs = c.ilu.lower().row_cols(i);
+          const auto vs = c.ilu.lower().row_vals(i);
+          real_t sum = 0.0;
+          for (int rep = 0; rep < amp; ++rep) {
+            sum = c.system.rhs[static_cast<std::size_t>(i)];
+            for (std::size_t k = 0; k < cs.size(); ++k) {
+              sum -= vs[k] * y[static_cast<std::size_t>(cs[k])];
+            }
+            do_not_optimize(sum);
+          }
+          y[static_cast<std::size_t>(i)] = sum;
+        });
+      });
+      std::printf(" %9.2f", ms);
+    }
+    std::printf("\n");
+  }
+
+  // --- D: doacross vs reordered self-executing ---------------------------
+  std::printf("\nD. Doacross vs self-executing (reordered) loop (ms)\n");
+  std::printf("%-8s %12s %12s\n", "Problem", "doacross", "self-exec");
+  for (const auto& c : table23_cases()) {
+    const auto s = global_schedule(c.wavefronts, p);
+    const double td = time_doacross_lower_ms(team, c, reps);
+    const double tse = time_self_lower_ms(team, c, s, reps);
+    std::printf("%-8s %12.3f %12.3f\n", c.name.c_str(), td, tse);
+  }
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+
+#include "core/executors.hpp"
+
+namespace rtl::bench {
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// Forward-substitution body over the case's lower factor, writing into y.
+/// The row update is recomputed `work_amp()` times behind a compiler
+/// barrier to emulate the per-row cost of the paper's machine (see
+/// bench_common.hpp).
+template <class Exec>
+void run_lower(const SolveCase& c, std::vector<real_t>& y, Exec&& exec) {
+  const CsrMatrix& lower = c.ilu.lower();
+  const auto& rhs = c.system.rhs;
+  const int amp = work_amp();
+  exec([&, lower_ptr = &lower](index_t i) {
+    const CsrMatrix& l = *lower_ptr;
+    const auto cs = l.row_cols(i);
+    const auto vs = l.row_vals(i);
+    real_t sum = 0.0;
+    for (int rep = 0; rep < amp; ++rep) {
+      sum = rhs[static_cast<std::size_t>(i)];
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        sum -= vs[k] * y[static_cast<std::size_t>(cs[k])];
+      }
+      do_not_optimize(sum);
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  });
+}
+
+}  // namespace
+
+int default_procs() { return env_int("RTL_PROCS", 16); }
+
+int default_reps() { return env_int("RTL_REPS", 7); }
+
+int work_amp() { return env_int("RTL_AMP", 4000); }
+
+void do_not_optimize(real_t value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+SolveCase::SolveCase(TestProblem prob)
+    : name(std::move(prob.name)),
+      system(std::move(prob.system)),
+      ilu(system.a, 0),
+      graph(lower_solve_dependences(ilu.lower())),
+      wavefronts(compute_wavefronts(graph)),
+      work(row_substitution_work(graph)) {
+  ilu.factor(system.a);
+}
+
+std::vector<SolveCase> table23_cases() {
+  std::vector<SolveCase> cases;
+  cases.emplace_back(make_spe2());
+  cases.emplace_back(make_spe5());
+  cases.emplace_back(make_5pt());
+  cases.emplace_back(make_9pt());
+  cases.emplace_back(make_7pt());
+  return cases;
+}
+
+double time_sequential_lower_ms(const SolveCase& c, int reps) {
+  // Same amplified body as the parallel runs, executed in natural row
+  // order without any schedule indirection or synchronization traffic —
+  // the "optimized sequential version".
+  std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
+  const CsrMatrix& lower = c.ilu.lower();
+  const int amp = work_amp();
+  return min_time_ms(reps, [&] {
+    for (index_t i = 0; i < lower.rows(); ++i) {
+      const auto cs = lower.row_cols(i);
+      const auto vs = lower.row_vals(i);
+      real_t sum = 0.0;
+      for (int rep = 0; rep < amp; ++rep) {
+        sum = c.system.rhs[static_cast<std::size_t>(i)];
+        for (std::size_t k = 0; k < cs.size(); ++k) {
+          sum -= vs[k] * y[static_cast<std::size_t>(cs[k])];
+        }
+        do_not_optimize(sum);
+      }
+      y[static_cast<std::size_t>(i)] = sum;
+    }
+  });
+}
+
+double time_self_lower_ms(ThreadTeam& team, const SolveCase& c,
+                          const Schedule& s, int reps) {
+  std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
+  ReadyFlags ready(c.graph.size());
+  return min_time_ms(reps, [&] {
+    run_lower(c, y, [&](auto&& body) {
+      execute_self(team, s, c.graph, ready, body);
+    });
+  });
+}
+
+double time_prescheduled_lower_ms(ThreadTeam& team, const SolveCase& c,
+                                  const Schedule& s, int reps) {
+  std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
+  return min_time_ms(reps, [&] {
+    run_lower(c, y,
+              [&](auto&& body) { execute_prescheduled(team, s, body); });
+  });
+}
+
+double time_doacross_lower_ms(ThreadTeam& team, const SolveCase& c,
+                              int reps) {
+  std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
+  ReadyFlags ready(c.graph.size());
+  return min_time_ms(reps, [&] {
+    run_lower(c, y, [&](auto&& body) {
+      execute_doacross(team, c.graph.size(), c.graph, ready, body);
+    });
+  });
+}
+
+double time_rotating_self_ms(ThreadTeam& team, const SolveCase& c,
+                             const Schedule& s, int reps) {
+  std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
+  ReadyFlags ready(c.graph.size());
+  return min_time_ms(reps, [&] {
+    run_lower(c, y, [&](auto&& body) {
+      execute_rotating_self(team, s, c.graph, ready, body);
+    });
+  });
+}
+
+double time_rotating_prescheduled_ms(ThreadTeam& team, const SolveCase& c,
+                                     const Schedule& s, int reps) {
+  std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
+  return min_time_ms(reps, [&] {
+    run_lower(c, y, [&](auto&& body) {
+      execute_rotating_prescheduled(team, s, body);
+    });
+  });
+}
+
+double time_one_pe_parallel_self_ms(const SolveCase& c, int reps) {
+  ThreadTeam solo(1);
+  const auto s = global_schedule(c.wavefronts, 1);
+  return time_self_lower_ms(solo, c, s, reps);
+}
+
+double time_one_pe_parallel_prescheduled_ms(const SolveCase& c, int reps) {
+  ThreadTeam solo(1);
+  const auto s = global_schedule(c.wavefronts, 1);
+  return time_prescheduled_lower_ms(solo, c, s, reps);
+}
+
+double barrier_cost_ms(ThreadTeam& team) {
+  constexpr int kEpisodes = 2000;
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    best = std::min(best, measure_barrier_ms(team, kEpisodes));
+  }
+  return best / kEpisodes;
+}
+
+}  // namespace rtl::bench

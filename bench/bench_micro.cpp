@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark) for the runtime primitives whose
+// costs parameterize the §4.2 model: barrier episodes (T_synch), ready-
+// flag set/check (T_inc / T_check), team dispatch, and the core kernels.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/executors.hpp"
+#include "core/schedule.hpp"
+#include "graph/wavefront.hpp"
+#include "runtime/ready_flags.hpp"
+#include "runtime/thread_team.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/parallel_ops.hpp"
+#include "sparse/triangular.hpp"
+#include "workload/stencil.hpp"
+
+namespace {
+
+using namespace rtl;
+
+void BM_BarrierEpisode(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  ThreadTeam team(p);
+  constexpr int kEpisodesPerIter = 64;
+  for (auto _ : state) {
+    team.run([&](int) {
+      BarrierToken bar(team.barrier());
+      for (int k = 0; k < kEpisodesPerIter; ++k) bar.wait();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kEpisodesPerIter);
+}
+BENCHMARK(BM_BarrierEpisode)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ReadyFlagSetCheck(benchmark::State& state) {
+  ReadyFlags flags(1024);
+  index_t i = 0;
+  for (auto _ : state) {
+    flags.set(i);
+    benchmark::DoNotOptimize(flags.is_set(i));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_ReadyFlagSetCheck);
+
+void BM_TeamDispatch(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  ThreadTeam team(p);
+  for (auto _ : state) {
+    team.run([](int) {});
+  }
+}
+BENCHMARK(BM_TeamDispatch)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_SequentialLowerSolve(benchmark::State& state) {
+  const auto sys = five_point(static_cast<index_t>(state.range(0)),
+                              static_cast<index_t>(state.range(0)));
+  IluFactorization ilu(sys.a, 0);
+  ilu.factor(sys.a);
+  std::vector<real_t> y(static_cast<std::size_t>(sys.a.rows()));
+  for (auto _ : state) {
+    solve_lower_unit(ilu.lower(), sys.rhs, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SequentialLowerSolve)->Arg(63)->Arg(127);
+
+void BM_SelfExecutingLowerSolve(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto sys = five_point(63, 63);
+  IluFactorization ilu(sys.a, 0);
+  ilu.factor(sys.a);
+  const auto g = lower_solve_dependences(ilu.lower());
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, p);
+  ThreadTeam team(p);
+  ReadyFlags ready(g.size());
+  std::vector<real_t> y(static_cast<std::size_t>(g.size()));
+  const auto& lower = ilu.lower();
+  for (auto _ : state) {
+    execute_self(team, s, g, ready, [&](index_t i) {
+      real_t sum = sys.rhs[static_cast<std::size_t>(i)];
+      const auto cs = lower.row_cols(i);
+      const auto vs = lower.row_vals(i);
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        sum -= vs[k] * y[static_cast<std::size_t>(cs[k])];
+      }
+      y[static_cast<std::size_t>(i)] = sum;
+    });
+  }
+}
+BENCHMARK(BM_SelfExecutingLowerSolve)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_WavefrontSweep(benchmark::State& state) {
+  const auto sys = five_point(127, 127);
+  IluFactorization ilu(sys.a, 0);
+  const auto g = lower_solve_dependences(ilu.lower());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_wavefronts(g));
+  }
+}
+BENCHMARK(BM_WavefrontSweep);
+
+void BM_ParDot(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  ThreadTeam team(p);
+  std::vector<real_t> x(1 << 20, 1.5), y(1 << 20, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par_dot(team, x, y));
+  }
+}
+BENCHMARK(BM_ParDot)->Arg(1)->Arg(8)->Arg(16);
+
+}  // namespace

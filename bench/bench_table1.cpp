@@ -1,0 +1,175 @@
+// Table 1: "Self-Execution vs Pre-Scheduling for PCGPAK" — full
+// preconditioned Krylov solves of the eight Appendix I test problems on
+// RTL_PROCS processors, reporting solve time and parallel efficiency for
+// both executors, plus the topological-sort (inspector) time.
+//
+// Per-row amplification: a Multimax/320 processor spent tens of
+// microseconds per row substitution, so the triangular solves dominated
+// PCGPAK and their parallelization decided overall efficiency. A modern
+// core retires a row in nanoseconds, which would turn this table into a
+// measurement of synchronization latency only. The preconditioner used
+// here therefore recomputes each row update `RTL_AMP` times (identically
+// in the sequential baseline), restoring the paper's compute-to-
+// synchronization ratio. Parallel efficiency follows the paper:
+// sequential time / (processors x parallel time), with the sequential
+// baseline run on a one-thread team (no synchronization traffic).
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "solver/krylov.hpp"
+#include "sparse/triangular.hpp"
+
+namespace rtl::bench {
+namespace {
+
+/// ILU(0) preconditioner whose forward/backward substitution bodies do
+/// `work_amp()` times the arithmetic (emulating the paper's per-row cost),
+/// parallelized with the chosen executor policy.
+class AmplifiedIluPreconditioner final : public Preconditioner {
+ public:
+  AmplifiedIluPreconditioner(ThreadTeam& team, const CsrMatrix& a,
+                             DoconsiderOptions options)
+      : ilu_(a, 0),
+        lower_plan_(team, lower_solve_dependences(ilu_.lower()), options),
+        upper_plan_(team, upper_solve_dependences(ilu_.upper()), options),
+        tmp_(static_cast<std::size_t>(a.rows())) {
+    ilu_.factor(a);
+  }
+
+  void apply(ThreadTeam& team, std::span<const real_t> r,
+             std::span<real_t> z) override {
+    const int amp = work_amp();
+    const CsrMatrix& lower = ilu_.lower();
+    const CsrMatrix& upper = ilu_.upper();
+    const index_t n = lower.rows();
+    lower_plan_.execute(team, [&](index_t i) {
+      const auto cs = lower.row_cols(i);
+      const auto vs = lower.row_vals(i);
+      real_t sum = 0.0;
+      for (int rep = 0; rep < amp; ++rep) {
+        sum = r[static_cast<std::size_t>(i)];
+        for (std::size_t k = 0; k < cs.size(); ++k) {
+          sum -= vs[k] * tmp_[static_cast<std::size_t>(cs[k])];
+        }
+        do_not_optimize(sum);
+      }
+      tmp_[static_cast<std::size_t>(i)] = sum;
+    });
+    upper_plan_.execute(team, [&](index_t k) {
+      const index_t row = n - 1 - k;
+      const auto cs = upper.row_cols(row);
+      const auto vs = upper.row_vals(row);
+      real_t sum = 0.0;
+      for (int rep = 0; rep < amp; ++rep) {
+        sum = tmp_[static_cast<std::size_t>(row)];
+        for (std::size_t t = 1; t < cs.size(); ++t) {
+          sum -= vs[t] * z[static_cast<std::size_t>(cs[t])];
+        }
+        do_not_optimize(sum);
+      }
+      z[static_cast<std::size_t>(row)] = sum / vs[0];
+    });
+  }
+
+ private:
+  IluFactorization ilu_;
+  DoconsiderPlan lower_plan_;
+  DoconsiderPlan upper_plan_;
+  std::vector<real_t> tmp_;
+};
+
+struct Run {
+  double ms = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+Run timed_solve(ThreadTeam& team, const TestProblem& prob,
+                ExecutionPolicy exec, const KrylovOptions& kopt, int reps) {
+  DoconsiderOptions opts;
+  opts.execution = exec;
+  AmplifiedIluPreconditioner precond(team, prob.system.a, opts);
+  Run out;
+  out.ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<real_t> x(static_cast<std::size_t>(prob.system.a.rows()),
+                          0.0);
+    WallTimer t;
+    const auto res =
+        gmres_solve(team, prob.system.a, prob.system.rhs, x, &precond, kopt);
+    out.ms = std::min(out.ms, t.elapsed_ms());
+    out.iterations = res.iterations;
+    out.converged = res.converged;
+  }
+  return out;
+}
+
+/// Inspector (topological sort + schedule) time for the problem's lower
+/// solve graph.
+double inspector_ms(const TestProblem& prob, int p, int reps) {
+  IluFactorization ilu(prob.system.a, 0);
+  const auto g = lower_solve_dependences(ilu.lower());
+  return min_time_ms(reps, [&] {
+    const auto wf = compute_wavefronts(g);
+    const auto s = global_schedule(wf, p);
+    (void)s;
+  });
+}
+
+}  // namespace
+}  // namespace rtl::bench
+
+int main() {
+  using namespace rtl;
+  using namespace rtl::bench;
+  // Whole-solver runs multiply the amplification by the iteration count,
+  // so this bench defaults to a lighter factor than the single-solve
+  // tables (RTL_AMP still overrides).
+  setenv("RTL_AMP", "1000", /*overwrite=*/0);
+  const int p = default_procs();
+  const int reps = std::max(2, default_reps() / 2);
+  ThreadTeam team(p);
+  ThreadTeam solo(1);
+
+  KrylovOptions kopt;
+  kopt.rtol = 1e-8;
+  kopt.max_iterations = 120;
+
+  std::printf(
+      "Table 1: PCGPAK-analogue solves, %d processors "
+      "(per-row amplification x%d)\n\n",
+      p, work_amp());
+  std::printf("%-8s %6s %5s | %9s | %9s %6s | %9s %6s | %9s\n", "Problem",
+              "n", "iters", "Seq (ms)", "S.E.(ms)", "Eff.", "P.S.(ms)",
+              "Eff.", "Sort (ms)");
+
+  for (const auto& prob : standard_problem_set()) {
+    // Sequential baseline: same amplified algorithm on one processor.
+    const auto seq = timed_solve(solo, prob, ExecutionPolicy::kPreScheduled,
+                                 kopt, reps);
+    const auto se = timed_solve(team, prob, ExecutionPolicy::kSelfExecuting,
+                                kopt, reps);
+    const auto ps = timed_solve(team, prob, ExecutionPolicy::kPreScheduled,
+                                kopt, reps);
+    const double sort_ms = inspector_ms(prob, p, reps);
+
+    std::printf(
+        "%-8s %6d %5d | %9.1f | %9.1f %6.2f | %9.1f %6.2f | %9.2f%s\n",
+        prob.name.c_str(), prob.system.a.rows(), se.iterations, seq.ms,
+        se.ms, seq.ms / (p * se.ms), ps.ms, seq.ms / (p * ps.ms), sort_ms,
+        (se.converged && ps.converged && seq.converged)
+            ? ""
+            : "  [hit iteration cap]");
+  }
+
+  std::printf(
+      "\nExpected shape (paper): self-execution wins on nearly every\n"
+      "problem; pre-scheduling is competitive only on 7-PT-like problems\n"
+      "with few phases and good per-phase balance; the topological sort\n"
+      "cost is negligible next to the solve it enables.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Table 5: scheduling overheads and local vs global index-set scheduling
+// (§5.1.5). For each problem: sequential solve time, sequential and
+// parallel topological-sort times, the global rearrangement (schedule
+// dealing) time, the local sort time, and the 16-processor self-executing
+// solve times under global and local schedules. All times in ms.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/executors.hpp"
+#include "core/partition.hpp"
+#include "core/schedule.hpp"
+#include "sparse/coo_builder.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtl::bench {
+namespace {
+
+SolveCase synthetic_case(const SyntheticSpec& spec) {
+  auto sys = synthetic_lower_system(spec);
+  // Wrap as a TestProblem-like case: the lower system *is* the L factor
+  // (unit diagonal), so give SolveCase a matrix whose ILU(0) lower part is
+  // the synthetic structure. Simplest: build an identity-diagonal matrix
+  // A = I + L; its ILU(0) L-factor has exactly the synthetic pattern.
+  CooBuilder coo(sys.a.rows(), sys.a.cols());
+  for (index_t i = 0; i < sys.a.rows(); ++i) {
+    coo.add(i, i, 1.0);
+    const auto cs = sys.a.row_cols(i);
+    const auto vs = sys.a.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      coo.add(i, cs[k], vs[k]);
+    }
+  }
+  TestProblem prob;
+  prob.name = spec.name();
+  prob.system.a = coo.build();
+  prob.system.rhs = std::move(sys.rhs);
+  return SolveCase(std::move(prob));
+}
+
+SolveCase mesh_case() {
+  // "65mesh": the plain 65x65 five-point mesh.
+  TestProblem prob;
+  prob.name = "65mesh";
+  prob.system = five_point(65, 65);
+  return SolveCase(std::move(prob));
+}
+
+}  // namespace
+}  // namespace rtl::bench
+
+int main() {
+  using namespace rtl;
+  using namespace rtl::bench;
+  const int p = default_procs();
+  const int reps = default_reps();
+  ThreadTeam team(p);
+
+  std::printf(
+      "Table 5: index-set scheduling costs and run times, %d processors\n\n",
+      p);
+  std::printf("%-10s %8s %8s %8s %8s %9s %8s | %9s %9s\n", "Problem",
+              "Seq", "Seq1x", "SeqSort", "ParSort", "GlobArr", "LocSort",
+              "RunGlob", "RunLoc");
+
+  std::vector<SolveCase> cases = table23_cases();
+  cases.push_back(synthetic_case(
+      {.mesh = 65, .lambda = 4.0, .mean_dist = 1.5, .seed = 51}));
+  cases.push_back(synthetic_case(
+      {.mesh = 65, .lambda = 4.0, .mean_dist = 3.0, .seed = 52}));
+  cases.push_back(mesh_case());
+
+  for (const auto& c : cases) {
+    const double seq_ms = time_sequential_lower_ms(c, reps);
+    // Unamplified solve: the honest yardstick for the paper's claim that
+    // one sequential sort costs slightly less than one sequential solve.
+    std::vector<real_t> y1x(static_cast<std::size_t>(c.graph.size()));
+    const double seq1x_ms = min_time_ms(
+        reps, [&] { solve_lower_unit(c.ilu.lower(), c.system.rhs, y1x); });
+    const double seq_sort_ms =
+        min_time_ms(reps, [&] { (void)compute_wavefronts(c.graph); });
+    const double par_sort_ms = min_time_ms(
+        reps, [&] { (void)compute_wavefronts_parallel(c.graph, team); });
+    const double glob_arrange_ms = min_time_ms(
+        reps, [&] { (void)global_schedule(c.wavefronts, p); });
+    const auto part = wrapped_partition(c.graph.size(), p);
+    const double loc_sort_ms = min_time_ms(
+        reps, [&] { (void)local_schedule(c.wavefronts, part); });
+
+    const auto sg = global_schedule(c.wavefronts, p);
+    const auto sl = local_schedule(c.wavefronts, part);
+    const double run_glob_ms = time_self_lower_ms(team, c, sg, reps);
+    const double run_loc_ms = time_self_lower_ms(team, c, sl, reps);
+
+    std::printf(
+        "%-10s %8.2f %8.3f %8.3f %8.3f %9.3f %8.3f | %9.2f %9.2f\n",
+        c.name.c_str(), seq_ms, seq1x_ms, seq_sort_ms, par_sort_ms,
+        glob_arrange_ms, loc_sort_ms, run_glob_ms, run_loc_ms);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): local scheduling overhead well below the\n"
+      "global one; self-executing run times comparable between local and\n"
+      "global schedules (each wins on some problems); sequential sort cost\n"
+      "slightly below one sequential solve.\n");
+  return 0;
+}

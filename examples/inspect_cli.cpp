@@ -1,0 +1,151 @@
+// Inspector CLI: analyze the run-time parallelism of a sparse system
+// without solving it.
+//
+//   inspect_cli [--matrix FILE.mtx | --problem NAME] [--procs P]
+//               [--level K] [--reorder natural|rcm|wavefront]
+//
+// Prints the dependence-graph statistics of the ILU(K) forward solve
+// (wavefront count, width distribution, critical path), the symbolic
+// efficiencies of the four scheduling/execution combinations on P
+// processors (the paper's Figure 1 matrix), and the inspector costs.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/doconsider.hpp"
+#include "graph/wavefront.hpp"
+#include "runtime/timer.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/reorder.hpp"
+#include "sparse/triangular.hpp"
+#include "workload/problems.hpp"
+
+namespace {
+
+using namespace rtl;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--matrix FILE.mtx | --problem NAME] [--procs P]\n"
+               "          [--level K] [--reorder natural|rcm|wavefront]\n",
+               argv0);
+  return 2;
+}
+
+CsrMatrix named_matrix(const std::string& name) {
+  if (name == "spe1") return make_spe1().system.a;
+  if (name == "spe2") return make_spe2().system.a;
+  if (name == "spe3") return make_spe3().system.a;
+  if (name == "spe4") return make_spe4().system.a;
+  if (name == "spe5") return make_spe5().system.a;
+  if (name == "5pt") return make_5pt().system.a;
+  if (name == "9pt") return make_9pt().system.a;
+  if (name == "7pt") return make_7pt().system.a;
+  throw std::runtime_error("unknown problem name: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string matrix_path;
+  std::string problem = "spe5";
+  std::string reorder = "natural";
+  int procs = 16;
+  int level = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(usage(argv[0]));
+      return argv[++i];
+    };
+    if (arg == "--matrix") {
+      matrix_path = next();
+    } else if (arg == "--problem") {
+      problem = next();
+    } else if (arg == "--procs") {
+      procs = std::atoi(next());
+    } else if (arg == "--level") {
+      level = std::atoi(next());
+    } else if (arg == "--reorder") {
+      reorder = next();
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (procs < 1) return usage(argv[0]);
+
+  try {
+    CsrMatrix a = matrix_path.empty() ? named_matrix(problem)
+                                      : read_matrix_market_file(matrix_path);
+    if (a.rows() != a.cols()) {
+      std::fprintf(stderr, "matrix must be square\n");
+      return 1;
+    }
+    if (reorder == "rcm") {
+      a = permute_symmetric(a, reverse_cuthill_mckee(a));
+    } else if (reorder == "wavefront") {
+      a = permute_symmetric(a, wavefront_order(a));
+    } else if (reorder != "natural") {
+      return usage(argv[0]);
+    }
+
+    std::printf("matrix     : %s (%s order)\n",
+                matrix_path.empty() ? problem.c_str() : matrix_path.c_str(),
+                reorder.c_str());
+    std::printf("n          : %d, nnz: %d, bandwidth: %d\n", a.rows(),
+                a.nnz(), bandwidth(a));
+
+    WallTimer symbolic_timer;
+    IluFactorization ilu(a, level);
+    std::printf("ILU(%d)     : symbolic %.2f ms, nnz(L)+nnz(U) = %d\n",
+                level, symbolic_timer.elapsed_ms(),
+                ilu.lower().nnz() + ilu.upper().nnz());
+
+    const auto g = lower_solve_dependences(ilu.lower());
+    WallTimer sort_timer;
+    const auto wf = compute_wavefronts(g);
+    const double sort_ms = sort_timer.elapsed_ms();
+
+    const auto sizes = wf.wave_sizes();
+    index_t min_w = a.rows(), max_w = 0;
+    for (const index_t s : sizes) {
+      min_w = std::min(min_w, s);
+      max_w = std::max(max_w, s);
+    }
+    std::printf(
+        "wavefronts : %d (sort %.2f ms); width min/avg/max = %d / %.1f / "
+        "%d\n",
+        wf.num_waves, sort_ms, min_w,
+        static_cast<double>(a.rows()) / std::max<index_t>(1, wf.num_waves),
+        max_w);
+    std::printf("critical   : %.1f%% of rows lie on the longest chain axis\n",
+                100.0 * static_cast<double>(wf.num_waves) /
+                    static_cast<double>(std::max<index_t>(1, a.rows())));
+
+    // Figure 1's 2x2 space, evaluated symbolically for this matrix.
+    const auto work = row_substitution_work(g);
+    const auto sg = global_schedule(wf, procs);
+    const auto sl = local_schedule(wf, wrapped_partition(g.size(), procs));
+    std::printf("\nsymbolic efficiency on %d processors (Figure 1 grid):\n",
+                procs);
+    std::printf("  %-22s %-12s %-12s\n", "", "pre-sched", "self-exec");
+    std::printf("  %-22s %-12.3f %-12.3f\n", "global scheduling",
+                estimate_prescheduled(sg, work).efficiency,
+                estimate_self_executing(sg, g, work).efficiency);
+    std::printf("  %-22s %-12.3f %-12.3f\n", "local (striped)",
+                estimate_prescheduled(sl, work).efficiency,
+                estimate_self_executing(sl, g, work).efficiency);
+    std::printf("  %-22s %-12s %-12.3f\n", "doacross (baseline)", "-",
+                estimate_doacross(g.size(), procs, g, work).efficiency);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,67 @@
+// Full preconditioned Krylov solve (the PCGPAK scenario): GMRES(30) with
+// a parallel ILU(0) preconditioner on the SPE5 reservoir-style problem.
+// Every phase that PCGPAK parallelizes is exercised: parallel numeric
+// factorization, parallel triangular solves inside the preconditioner,
+// and block-parallel SpMV / SAXPY / dot kernels.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "runtime/timer.hpp"
+#include "solver/ilu_preconditioner.hpp"
+#include "solver/krylov.hpp"
+#include "workload/problems.hpp"
+
+int main() {
+  using namespace rtl;
+  const auto prob = make_spe5();
+  const auto& a = prob.system.a;
+  std::printf("problem %s: n = %d, nnz = %d\n", prob.name.c_str(), a.rows(),
+              a.nnz());
+
+  for (const auto exec :
+       {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting}) {
+    ThreadTeam team(16);
+    DoconsiderOptions opts;
+    opts.execution = exec;
+
+    WallTimer setup_timer;
+    IluPreconditioner precond(team, a, 0, opts);
+    const double setup_ms = setup_timer.elapsed_ms();
+
+    WallTimer factor_timer;
+    precond.factor(team, a);
+    const double factor_ms = factor_timer.elapsed_ms();
+
+    std::vector<real_t> x(static_cast<std::size_t>(a.rows()), 0.0);
+    KrylovOptions kopt;
+    kopt.rtol = 1e-10;
+    kopt.max_iterations = 400;
+
+    WallTimer solve_timer;
+    const auto res = gmres_solve(team, a, prob.system.rhs, x, &precond, kopt);
+    const double solve_ms = solve_timer.elapsed_ms();
+
+    // True residual check.
+    std::vector<real_t> r(x.size());
+    a.spmv(x, r);
+    double rn = 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      rn += (r[i] - prob.system.rhs[i]) * (r[i] - prob.system.rhs[i]);
+    }
+
+    std::printf(
+        "\n%s executor:\n"
+        "  inspector + symbolic factorization : %8.2f ms\n"
+        "  parallel numeric factorization     : %8.2f ms\n"
+        "  GMRES(30) solve                    : %8.2f ms, %d iterations, "
+        "%s\n"
+        "  true residual                      : %.3e\n",
+        exec == ExecutionPolicy::kPreScheduled ? "pre-scheduled"
+                                               : "self-executing",
+        setup_ms, factor_ms, solve_ms, res.iterations,
+        res.converged ? "converged" : "NOT converged", std::sqrt(rn));
+  }
+  return 0;
+}

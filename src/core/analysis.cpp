@@ -1,0 +1,118 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rtl {
+
+namespace {
+
+double total(std::span<const double> work) {
+  double t = 0.0;
+  for (const double w : work) t += w;
+  return t;
+}
+
+/// List-scheduling event simulation: iteration i starts when its processor
+/// reaches it in schedule order *and* every dependence has finished.
+/// Returns the makespan. Throws if the schedule cannot make progress
+/// (a dependence ordered after its consumer on every processor).
+double simulate(const Schedule& s, const DependenceGraph& g,
+                std::span<const double> work) {
+  const index_t n = s.n;
+  std::vector<double> finish(static_cast<std::size_t>(n), -1.0);
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(s.nproc), 0);
+  std::vector<double> proc_time(static_cast<std::size_t>(s.nproc), 0.0);
+
+  index_t remaining = n;
+  while (remaining > 0) {
+    bool progress = false;
+    for (int p = 0; p < s.nproc; ++p) {
+      const auto& ord = s.order[static_cast<std::size_t>(p)];
+      auto& cur = cursor[static_cast<std::size_t>(p)];
+      while (cur < ord.size()) {
+        const index_t i = ord[cur];
+        double start = proc_time[static_cast<std::size_t>(p)];
+        bool ready = true;
+        for (const index_t d : g.deps(i)) {
+          const double f = finish[static_cast<std::size_t>(d)];
+          if (f < 0.0) {
+            ready = false;
+            break;
+          }
+          start = std::max(start, f);
+        }
+        if (!ready) break;
+        const double f = start + work[static_cast<std::size_t>(i)];
+        finish[static_cast<std::size_t>(i)] = f;
+        proc_time[static_cast<std::size_t>(p)] = f;
+        ++cur;
+        --remaining;
+        progress = true;
+      }
+    }
+    if (!progress) {
+      throw std::invalid_argument(
+          "simulate: schedule deadlocks (dependence never satisfied)");
+    }
+  }
+  double makespan = 0.0;
+  for (const double t : proc_time) makespan = std::max(makespan, t);
+  return makespan;
+}
+
+}  // namespace
+
+SymbolicEstimate estimate_prescheduled(const Schedule& s,
+                                       std::span<const double> work) {
+  assert(static_cast<index_t>(work.size()) == s.n);
+  double parallel = 0.0;
+  for (index_t w = 0; w < s.num_phases; ++w) {
+    double phase_max = 0.0;
+    for (int p = 0; p < s.nproc; ++p) {
+      double mine = 0.0;
+      for (const index_t i : s.phase(p, w)) {
+        mine += work[static_cast<std::size_t>(i)];
+      }
+      phase_max = std::max(phase_max, mine);
+    }
+    parallel += phase_max;
+  }
+  SymbolicEstimate e;
+  e.parallel_work = parallel;
+  e.total_work = total(work);
+  e.efficiency =
+      parallel > 0.0 ? e.total_work / (s.nproc * parallel) : 1.0;
+  return e;
+}
+
+SymbolicEstimate estimate_self_executing(const Schedule& s,
+                                         const DependenceGraph& g,
+                                         std::span<const double> work) {
+  assert(static_cast<index_t>(work.size()) == s.n);
+  SymbolicEstimate e;
+  e.parallel_work = simulate(s, g, work);
+  e.total_work = total(work);
+  e.efficiency = e.parallel_work > 0.0
+                     ? e.total_work / (s.nproc * e.parallel_work)
+                     : 1.0;
+  return e;
+}
+
+SymbolicEstimate estimate_doacross(index_t n, int nproc,
+                                   const DependenceGraph& g,
+                                   std::span<const double> work) {
+  return estimate_self_executing(original_order_schedule(n, nproc), g, work);
+}
+
+std::vector<double> row_substitution_work(const DependenceGraph& g) {
+  std::vector<double> w(static_cast<std::size_t>(g.size()));
+  for (index_t i = 0; i < g.size(); ++i) {
+    w[static_cast<std::size_t>(i)] =
+        1.0 + static_cast<double>(g.deps(i).size());
+  }
+  return w;
+}
+
+}  // namespace rtl

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "graph/dependence_graph.hpp"
+#include "runtime/types.hpp"
+
+/// Operation-count analysis of schedules (§5.1.2).
+///
+/// The paper's *symbolically estimated efficiency* assumes load balance is
+/// characterized solely by the distribution and scheduling of floating-
+/// point operations: every iteration i carries a work weight w(i) (its
+/// flop count), and the parallel completion time is computed from the
+/// schedule alone, ignoring all overheads. These estimates feed Tables 2-4.
+namespace rtl {
+
+/// Result of a symbolic (operation-count) schedule evaluation.
+struct SymbolicEstimate {
+  /// Modeled parallel completion time, in work units.
+  double parallel_work = 0.0;
+  /// Total work across all iterations, in work units.
+  double total_work = 0.0;
+  /// total_work / (nproc * parallel_work).
+  double efficiency = 0.0;
+};
+
+/// Pre-scheduled estimate: phases are separated by barriers, so the modeled
+/// time is the sum over phases of the maximum per-processor work in that
+/// phase.
+[[nodiscard]] SymbolicEstimate estimate_prescheduled(
+    const Schedule& s, std::span<const double> work);
+
+/// Self-executing estimate: event simulation where iteration i starts when
+/// both its processor is free and all its dependences have completed.
+/// Requires the schedule's per-processor order to be consistent with
+/// wavefront order (true for global/local schedules).
+[[nodiscard]] SymbolicEstimate estimate_self_executing(
+    const Schedule& s, const DependenceGraph& g, std::span<const double> work);
+
+/// Doacross estimate over the original striped order: same event simulation
+/// but per-processor order is the original index order, so a processor may
+/// stall on an iteration whose dependences are far behind.
+[[nodiscard]] SymbolicEstimate estimate_doacross(
+    index_t n, int nproc, const DependenceGraph& g,
+    std::span<const double> work);
+
+/// Per-iteration flop weights for a triangular solve: 1 + #dependences
+/// multiply-add pairs per row substitution.
+[[nodiscard]] std::vector<double> row_substitution_work(
+    const DependenceGraph& g);
+
+}  // namespace rtl

@@ -1,0 +1,16 @@
+#include "core/executors.hpp"
+
+#include "runtime/timer.hpp"
+
+namespace rtl {
+
+double measure_barrier_ms(ThreadTeam& team, int count) {
+  WallTimer t;
+  team.run([&](int) {
+    BarrierToken bar(team.barrier());
+    for (int k = 0; k < count; ++k) bar.wait();
+  });
+  return t.elapsed_ms();
+}
+
+}  // namespace rtl

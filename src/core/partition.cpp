@@ -1,0 +1,46 @@
+#include "core/partition.hpp"
+
+#include <stdexcept>
+
+#include "runtime/thread_team.hpp"
+
+namespace rtl {
+
+Partition::Partition(int nproc, std::vector<int> owner)
+    : nproc_(nproc), owner_(std::move(owner)) {
+  if (nproc <= 0) throw std::invalid_argument("Partition: nproc must be >= 1");
+  for (const int p : owner_) {
+    if (p < 0 || p >= nproc) {
+      throw std::invalid_argument("Partition: owner out of range");
+    }
+  }
+}
+
+std::vector<std::vector<index_t>> Partition::members() const {
+  std::vector<std::vector<index_t>> m(static_cast<std::size_t>(nproc_));
+  for (index_t i = 0; i < size(); ++i) {
+    m[static_cast<std::size_t>(owner(i))].push_back(i);
+  }
+  return m;
+}
+
+Partition block_partition(index_t n, int nproc) {
+  std::vector<int> owner(static_cast<std::size_t>(n));
+  for (int p = 0; p < nproc; ++p) {
+    const BlockRange r = block_range(n, p, nproc);
+    for (index_t i = r.begin; i < r.end; ++i) {
+      owner[static_cast<std::size_t>(i)] = p;
+    }
+  }
+  return Partition(nproc, std::move(owner));
+}
+
+Partition wrapped_partition(index_t n, int nproc) {
+  std::vector<int> owner(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    owner[static_cast<std::size_t>(i)] = static_cast<int>(i % nproc);
+  }
+  return Partition(nproc, std::move(owner));
+}
+
+}  // namespace rtl

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "runtime/types.hpp"
+
+/// Index-to-processor partitions.
+///
+/// The paper distributes loop indices over processors in one of two static
+/// ways before any reordering happens: contiguous blocks (Appendix II §2.1)
+/// or a wrapped/striped assignment, "for P processors index i was assigned
+/// to processor i modulo P" (§5.1.4, Figure 10). Local scheduling keeps the
+/// partition fixed and only reorders within a processor; global scheduling
+/// re-deals the sorted index list.
+namespace rtl {
+
+/// A fixed assignment of loop indices to processors.
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Build from an explicit owner array (owner[i] in [0, nproc)).
+  Partition(int nproc, std::vector<int> owner);
+
+  /// Number of processors.
+  [[nodiscard]] int nproc() const noexcept { return nproc_; }
+  /// Number of indices.
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(owner_.size());
+  }
+  /// Owning processor of index i.
+  [[nodiscard]] int owner(index_t i) const noexcept {
+    return owner_[static_cast<std::size_t>(i)];
+  }
+
+  /// Indices owned by processor p, in increasing index order.
+  [[nodiscard]] std::vector<std::vector<index_t>> members() const;
+
+ private:
+  int nproc_ = 0;
+  std::vector<int> owner_;
+};
+
+/// Contiguous blocks of roughly equal size (Appendix II §2.1).
+[[nodiscard]] Partition block_partition(index_t n, int nproc);
+
+/// Wrapped / striped assignment: index i -> processor i mod nproc (§5.1.4).
+[[nodiscard]] Partition wrapped_partition(index_t n, int nproc);
+
+}  // namespace rtl

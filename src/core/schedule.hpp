@@ -1,0 +1,84 @@
+#pragma once
+
+#include <vector>
+
+#include "core/partition.hpp"
+#include "graph/wavefront.hpp"
+#include "runtime/thread_team.hpp"
+#include "runtime/types.hpp"
+
+/// Per-processor execution schedules — the inspector's output.
+///
+/// A schedule fixes, for each processor, the order in which it performs its
+/// assigned loop iterations, and where the wavefront (phase) boundaries
+/// fall. The pre-scheduled executor synchronizes globally at each phase
+/// boundary; the self-executing executor ignores the boundaries and relies
+/// on the ready array.
+///
+/// Two construction policies from §2.3 / §5.1.5:
+///  * global scheduling — topologically sort the whole index set by
+///    wavefront and deal the sorted list to processors in a wrapped manner
+///    (Figures 9 and 10), evenly splitting every wavefront;
+///  * local scheduling — keep a fixed partition and stably reorder each
+///    processor's own indices by wavefront number.
+namespace rtl {
+
+/// Execution order and phase structure for every processor.
+struct Schedule {
+  /// Number of processors the schedule targets.
+  int nproc = 0;
+  /// Number of loop iterations covered.
+  index_t n = 0;
+  /// Number of phases (== number of wavefronts).
+  index_t num_phases = 0;
+  /// order[p] = iterations processor p executes, in order.
+  std::vector<std::vector<index_t>> order;
+  /// phase_ptr[p] has num_phases+1 entries; processor p's phase w spans
+  /// order[p][phase_ptr[p][w] .. phase_ptr[p][w+1]). Phases with no local
+  /// work are empty ranges (the processor still joins the barrier).
+  std::vector<std::vector<index_t>> phase_ptr;
+
+  /// Iterations assigned to processor p during phase w.
+  [[nodiscard]] std::span<const index_t> phase(int p, index_t w) const {
+    const auto& ord = order[static_cast<std::size_t>(p)];
+    const auto& ptr = phase_ptr[static_cast<std::size_t>(p)];
+    return {ord.data() + ptr[static_cast<std::size_t>(w)],
+            ord.data() + ptr[static_cast<std::size_t>(w) + 1]};
+  }
+};
+
+/// The globally wavefront-sorted index list L of §4.2: stable counting
+/// sort of 0..n-1 by wavefront number, each wavefront's points in
+/// increasing index order.
+[[nodiscard]] std::vector<index_t> wavefront_sorted_list(
+    const WavefrontInfo& wf);
+
+/// Global scheduling: sort indices by (wavefront, index) and deal the
+/// sorted list L wrapped across processors — L[k] goes to processor
+/// k mod nproc — so the work of every wavefront is evenly partitioned.
+[[nodiscard]] Schedule global_schedule(const WavefrontInfo& wf, int nproc);
+
+/// Parallel global scheduling. §2.3 judged global scheduling impractical
+/// to parallelize "in the absence of a fetch and add primitive"; modern
+/// hardware has one, and a blocked counting sort needs only per-(thread,
+/// wave) counters plus one scan, no atomics in the hot loop. Produces a
+/// schedule identical to `global_schedule` (deterministic, increasing
+/// index order within each wavefront).
+[[nodiscard]] Schedule global_schedule_parallel(const WavefrontInfo& wf,
+                                                int nproc, ThreadTeam& team);
+
+/// Local scheduling: keep `part`'s assignment; each processor's indices are
+/// stably reordered by increasing wavefront number.
+[[nodiscard]] Schedule local_schedule(const WavefrontInfo& wf,
+                                      const Partition& part);
+
+/// Degenerate schedule used by the doacross baseline: original iteration
+/// order striped over processors, every iteration its own phase locally
+/// (num_phases == 1; the doacross executor never uses phase boundaries).
+[[nodiscard]] Schedule original_order_schedule(index_t n, int nproc);
+
+/// Validation: every index appears exactly once, phase pointers are
+/// monotone and consistent with wavefront numbers. Throws on violation.
+void validate_schedule(const Schedule& s, const WavefrontInfo& wf);
+
+}  // namespace rtl

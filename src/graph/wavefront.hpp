@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/dependence_graph.hpp"
+#include "runtime/thread_team.hpp"
+#include "runtime/types.hpp"
+
+/// Wavefront (topological level) computation — the inspector's sort.
+///
+/// The paper partitions the index set into disjoint *wavefronts* S_k such
+/// that all indices in a wavefront may execute in parallel (§2.2): stage k
+/// collects the vertices with no incoming edges, removes them, and repeats.
+/// Equivalently, the wavefront number of an index is one plus the maximum
+/// wavefront number of the indices it depends on, so for loops whose
+/// dependences point backwards one sequential sweep suffices (Figure 7).
+namespace rtl {
+
+/// Result of the topological sort: a level per index, plus the level count.
+struct WavefrontInfo {
+  /// wave[i] = 0-based wavefront number of iteration i.
+  std::vector<index_t> wave;
+  /// Total number of wavefronts (phases). 0 for an empty index set.
+  index_t num_waves = 0;
+
+  /// Number of indices in each wavefront.
+  [[nodiscard]] std::vector<index_t> wave_sizes() const;
+  /// Largest wavefront population (the available parallelism ceiling).
+  [[nodiscard]] index_t max_wave_size() const;
+};
+
+/// Sequential sweep of Figure 7. Requires `g.is_forward_only()`
+/// (dependences on strictly smaller indices); O(n + edges).
+[[nodiscard]] WavefrontInfo compute_wavefronts(const DependenceGraph& g);
+
+/// General Kahn-style level computation for any DAG (§2.2's stage-wise
+/// peeling). Throws `std::invalid_argument` if the graph has a cycle.
+[[nodiscard]] WavefrontInfo compute_wavefronts_general(
+    const DependenceGraph& g);
+
+/// Parallelized sweep of §2.3: consecutive indices are striped across the
+/// team and busy waits assure that predecessor wavefront values have been
+/// produced before being used. Requires `g.is_forward_only()`.
+[[nodiscard]] WavefrontInfo compute_wavefronts_parallel(
+    const DependenceGraph& g, ThreadTeam& team);
+
+}  // namespace rtl

@@ -1,0 +1,113 @@
+#include "model/performance_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rtl {
+
+namespace {
+
+void check_args(index_t m, index_t n, int p) {
+  if (m < 1 || n < 1) {
+    throw std::invalid_argument("model: domain must be at least 1x1");
+  }
+  if (p < 1 || p > std::min(m, n)) {
+    throw std::invalid_argument("model: requires 1 <= p <= min(m,n)");
+  }
+}
+
+index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+index_t phase_strips(index_t m, index_t n, index_t j) {
+  if (j < 1 || j > n + m - 1) {
+    throw std::invalid_argument("phase_strips: phase out of range");
+  }
+  // Anti-diagonal j of an m x n grid has min(j, m, n, n+m-j) points.
+  return std::min({j, m, n, n + m - j});
+}
+
+index_t mc(index_t m, index_t n, int p, index_t j) {
+  check_args(m, n, p);
+  return ceil_div(phase_strips(m, n, j), static_cast<index_t>(p));
+}
+
+double prescheduled_parallel_work(index_t m, index_t n, int p) {
+  check_args(m, n, p);
+  double sum = 0.0;
+  for (index_t j = 1; j <= n + m - 1; ++j) {
+    sum += static_cast<double>(mc(m, n, p, j));
+  }
+  return sum;
+}
+
+double prescheduled_eopt_exact(index_t m, index_t n, int p) {
+  const double tc = prescheduled_parallel_work(m, n, p);
+  return static_cast<double>(m) * static_cast<double>(n) / (p * tc);
+}
+
+double prescheduled_eopt_approx(index_t m, index_t n, int p) {
+  check_args(m, n, p);
+  // m^, n^: largest multiples of p not exceeding m, n.
+  const index_t mh = (m / p) * p;
+  const index_t nh = (n / p) * p;
+  const index_t mnh = std::min(mh, nh);
+  const double mn = static_cast<double>(m) * static_cast<double>(n);
+  const index_t middle_loss = (p - std::min(m, n) % p) % p;
+  const double denom =
+      mn + static_cast<double>(mnh) * (p - 1) +
+      static_cast<double>(m + n + 1 - 2 * mnh) *
+          static_cast<double>(middle_loss);
+  return mn / denom;
+}
+
+double self_executing_eopt(index_t m, index_t n, int p) {
+  check_args(m, n, p);
+  const double mn = static_cast<double>(m) * static_cast<double>(n);
+  return mn / (mn + static_cast<double>(p) * (p - 1));
+}
+
+double prescheduled_time(index_t m, index_t n, int p, const ModelRatios& r) {
+  return prescheduled_parallel_work(m, n, p) +
+         r.r_synch * static_cast<double>(n + m - 1);
+}
+
+double self_executing_time(index_t m, index_t n, int p,
+                           const ModelRatios& r) {
+  check_args(m, n, p);
+  const double mn = static_cast<double>(m) * static_cast<double>(n);
+  const double makespan = (mn + static_cast<double>(p) * (p - 1)) / p;
+  return (1.0 + r.r_inc + 2.0 * r.r_check) * makespan;
+}
+
+double time_ratio(index_t m, index_t n, int p, const ModelRatios& r) {
+  return prescheduled_time(m, n, p, r) / self_executing_time(m, n, p, r);
+}
+
+double time_ratio_limit_narrow(int p, const ModelRatios& r) {
+  if (p < 1) throw std::invalid_argument("time_ratio_limit_narrow: p < 1");
+  return (2.0 * p + r.r_synch) /
+         ((p + 1) * (1.0 + r.r_inc + 2.0 * r.r_check));
+}
+
+double time_ratio_limit_square(const ModelRatios& r) {
+  return 1.0 / (1.0 + r.r_inc + 2.0 * r.r_check);
+}
+
+double dense_self_executing_eopt(index_t n) {
+  if (n < 2) throw std::invalid_argument("dense model: n must be >= 2");
+  // Sequential work n(n-1)/2 saxpys; self-executing pipeline finishes in
+  // (n-1) saxpy times on p = n-1 processors.
+  return static_cast<double>(n) / (2.0 * (n - 1));
+}
+
+double dense_prescheduled_eopt(index_t n) {
+  if (n < 2) throw std::invalid_argument("dense model: n must be >= 2");
+  // Each row substitution is its own wavefront: parallel time equals the
+  // sequential time, on p = n-1 processors.
+  return 1.0 / static_cast<double>(n - 1);
+}
+
+}  // namespace rtl

@@ -1,0 +1,89 @@
+#pragma once
+
+#include "runtime/types.hpp"
+
+/// Analytic model of §4.2: pre-scheduled vs self-executing triangular
+/// solve of the zero-fill factorization of an m x n five-point mesh on p
+/// processors.
+///
+/// Wavefronts are the anti-diagonal strips of the domain (Figure 9); the
+/// sorted list is dealt to processors wrapped (Figure 10). The model
+/// counts only floating-point and synchronization-related work: each grid
+/// point costs Tp, a global synchronization costs Tsynch, incrementing /
+/// checking a shared-array element costs Tinc / Tcheck. All rate
+/// parameters enter as ratios to Tp.
+namespace rtl {
+
+/// Machine-cost ratios of the model.
+struct ModelRatios {
+  /// R_synch = T_synch / T_p (global synchronization vs one point's work).
+  double r_synch = 0.0;
+  /// R_inc = T_inc / T_p (shared-array increment).
+  double r_inc = 0.0;
+  /// R_check = T_check / T_p (shared-array read).
+  double r_check = 0.0;
+};
+
+/// Number of anti-diagonal strips that must be computed during phase j
+/// (1-based, 1 <= j <= n+m-1) of the pre-scheduled solve.
+[[nodiscard]] index_t phase_strips(index_t m, index_t n, index_t j);
+
+/// MC(j): per-processor strip count of phase j under wrapped assignment,
+/// i.e. ceil(phase_strips(j) / p).
+[[nodiscard]] index_t mc(index_t m, index_t n, int p, index_t j);
+
+/// Pre-scheduled parallel computation time in units of Tp:
+/// T_c / T_p = sum_j MC(j)  (equation for T_c).
+[[nodiscard]] double prescheduled_parallel_work(index_t m, index_t n, int p);
+
+/// Exact load-balance-only efficiency of the pre-scheduled solve
+/// (equations 2-3): E_opt = mn / (p * sum_j MC(j)).
+[[nodiscard]] double prescheduled_eopt_exact(index_t m, index_t n, int p);
+
+/// Closed-form approximation (equation 4):
+/// E_opt ~= mn / (mn + min(m^,n^)(p-1)
+///                + (m+n+1-2 min(m^,n^)) ((p - min(m,n)) mod p))
+/// where m^, n^ are the largest multiples of p not exceeding m, n.
+[[nodiscard]] double prescheduled_eopt_approx(index_t m, index_t n, int p);
+
+/// Self-executing load-balance-only efficiency (equation 5): only the
+/// pipeline fill/drain wavefronts idle processors, with cumulative idle
+/// time p(p-1) Tp, so E_opt = mn / (mn + p(p-1)).
+[[nodiscard]] double self_executing_eopt(index_t m, index_t n, int p);
+
+/// Modeled wall time of the pre-scheduled solve in units of Tp, including
+/// synchronization: sum_j MC(j) + R_synch (n+m-1).
+[[nodiscard]] double prescheduled_time(index_t m, index_t n, int p,
+                                       const ModelRatios& r);
+
+/// Modeled wall time of the self-executing solve in units of Tp: per-point
+/// cost (1 + R_inc + 2 R_check) times the pipelined makespan
+/// (mn + p(p-1)) / p.
+[[nodiscard]] double self_executing_time(index_t m, index_t n, int p,
+                                         const ModelRatios& r);
+
+/// Ratio of pre-scheduled to self-executing modeled time (the displayed
+/// expression before equation 6). Values > 1 favour self-execution.
+[[nodiscard]] double time_ratio(index_t m, index_t n, int p,
+                                const ModelRatios& r);
+
+/// Equation 6: limit of the ratio for m = p+1 and n -> infinity,
+/// (2p + R_synch) / ((p+1)(1 + R_inc + 2 R_check)). With many narrow
+/// phases, self-execution wins whenever shared-memory traffic is cheap.
+[[nodiscard]] double time_ratio_limit_narrow(int p, const ModelRatios& r);
+
+/// Equation 7: limit of the ratio for m = n -> infinity,
+/// 1 / (1 + R_inc + 2 R_check). Work grows as mn but synchronizations only
+/// as n+m-1, so pre-scheduling becomes preferable for square domains.
+[[nodiscard]] double time_ratio_limit_square(const ModelRatios& r);
+
+/// Dense n x n unit-diagonal triangular solve on n-1 processors (§4.2's
+/// extreme example): self-executing E_opt = n / (2(n-1)).
+[[nodiscard]] double dense_self_executing_eopt(index_t n);
+
+/// Same system pre-scheduled: every row substitution is its own wavefront,
+/// so no parallelism at all: E_opt = 1 / (n-1)... specifically
+/// seq/(p*par) with p = n-1.
+[[nodiscard]] double dense_prescheduled_eopt(index_t n);
+
+}  // namespace rtl

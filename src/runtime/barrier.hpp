@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "runtime/spin_wait.hpp"
+#include "runtime/types.hpp"
+
+/// Global synchronization for the pre-scheduled executor.
+///
+/// The paper's pre-scheduled loop (Figure 5, line 1d) calls a global
+/// synchronization at every phase boundary; the cost of that call,
+/// T_synch, is one of the quantities the Section 4.2 model reasons about.
+/// This is a centralized counting barrier with a generation word: the last
+/// arrival resets the count and bumps the generation, releasing the
+/// spinners. Unlike a sense-reversing barrier it carries no per-thread
+/// state, so it stays correct when successive parallel regions run
+/// different numbers of episodes.
+namespace rtl {
+
+/// Centralized generation-counting barrier for a fixed-size thread team.
+class SpinBarrier {
+ public:
+  /// Construct a barrier for `num_threads` participants (>= 1).
+  explicit SpinBarrier(int num_threads)
+      : num_threads_(num_threads), arrived_(0), generation_(0) {
+    assert(num_threads >= 1);
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Block until all `num_threads` participants have arrived.
+  void arrive_and_wait() noexcept {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) ==
+        num_threads_ - 1) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+    } else {
+      SpinWait backoff;
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        backoff.wait_once();
+      }
+    }
+  }
+
+  /// Number of participating threads.
+  [[nodiscard]] int num_threads() const noexcept { return num_threads_; }
+
+ private:
+  const int num_threads_;
+  alignas(cache_line_size) std::atomic<int> arrived_;
+  alignas(cache_line_size) std::atomic<std::uint64_t> generation_;
+};
+
+/// Per-thread handle to a barrier. Retained as the executor-facing API;
+/// the generation-counting barrier needs no per-thread state, so this is a
+/// thin forwarding wrapper.
+class BarrierToken {
+ public:
+  explicit BarrierToken(SpinBarrier& barrier) : barrier_(&barrier) {}
+
+  /// Arrive at the barrier and wait for all peers.
+  void wait() noexcept { barrier_->arrive_and_wait(); }
+
+ private:
+  SpinBarrier* barrier_;
+};
+
+}  // namespace rtl

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+/// Busy-wait primitives.
+///
+/// The self-executing executor of the paper (Figure 4, line 3a) replaces
+/// global synchronizations by busy waits on a shared `ready` array. These
+/// helpers implement the wait loop with polite backoff: a bounded number of
+/// pause-instruction spins followed by yields, so an oversubscribed host
+/// still makes progress.
+namespace rtl {
+
+/// Emit a CPU pause/relax hint inside a spin loop.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Adaptive spin loop: spins with pause hints first, then yields to the OS
+/// scheduler. Construct once per wait site and call `wait_once()` until the
+/// guarded condition becomes true.
+class SpinWait {
+ public:
+  /// Number of pause-spins performed before the first yield.
+  static constexpr int spin_threshold = 1024;
+
+  /// Perform one unit of waiting (a pause or a yield).
+  void wait_once() noexcept {
+    if (count_ < spin_threshold) {
+      cpu_relax();
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Reset the backoff state (e.g. after the condition was observed).
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  int count_ = 0;
+};
+
+/// Spin until `pred()` returns true, with adaptive backoff.
+template <class Pred>
+inline void spin_until(Pred&& pred) {
+  SpinWait backoff;
+  while (!pred()) backoff.wait_once();
+}
+
+}  // namespace rtl

@@ -1,0 +1,116 @@
+#include "runtime/thread_team.hpp"
+
+#include <cassert>
+
+#include "runtime/spin_wait.hpp"
+
+namespace rtl {
+
+namespace {
+// How long a worker spins for new work before blocking on the cv.
+constexpr int kDispatchSpins = 1 << 14;
+}  // namespace
+
+ThreadTeam::ThreadTeam(int num_threads)
+    : num_threads_(num_threads), barrier_(num_threads) {
+  assert(num_threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int tid = 1; tid < num_threads; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::run(const std::function<void(int)>& f) {
+  if (num_threads_ == 1) {
+    f(0);
+    return;
+  }
+  error_ = nullptr;
+  outstanding_.store(num_threads_ - 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &f;
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  wake_.notify_all();
+
+  try {
+    f(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+
+  SpinWait backoff;
+  while (outstanding_.load(std::memory_order_acquire) != 0) {
+    backoff.wait_once();
+  }
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadTeam::parallel_blocks(
+    index_t n, const std::function<void(int, index_t, index_t)>& f) {
+  run([&](int tid) {
+    const BlockRange r = block_range(n, tid, num_threads_);
+    f(tid, r.begin, r.end);
+  });
+}
+
+void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Fast path: spin briefly waiting for a new epoch.
+    bool got_work = false;
+    for (int i = 0; i < kDispatchSpins; ++i) {
+      if (epoch_.load(std::memory_order_acquire) != seen) {
+        got_work = true;
+        break;
+      }
+      cpu_relax();
+    }
+    if (!got_work) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_acquire) != seen;
+      });
+    }
+    seen = epoch_.load(std::memory_order_acquire);
+    if (shutdown_) return;
+    const auto* f = job_;
+    if (f != nullptr) {
+      try {
+        (*f)(tid);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      outstanding_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+}
+
+BlockRange block_range(index_t n, int tid, int nthreads) noexcept {
+  const index_t chunk = n / nthreads;
+  const index_t rem = n % nthreads;
+  const index_t begin =
+      tid * chunk + (tid < rem ? static_cast<index_t>(tid) : rem);
+  const index_t len = chunk + (tid < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace rtl

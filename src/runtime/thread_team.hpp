@@ -1,0 +1,99 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+#include "runtime/types.hpp"
+
+/// Persistent SPMD thread team — the "multiprocessor" substrate.
+///
+/// The paper's experiments run a single-program-multiple-data decomposition
+/// on p processors of an Encore Multimax/320 (§2.2). We reproduce that with
+/// a fixed team of p threads that lives across executor invocations, so the
+/// per-call dispatch cost plays the role of handing a schedule to already-
+/// running processors rather than of thread creation.
+///
+/// Dispatch is hybrid: workers spin briefly waiting for new work (keeping
+/// the per-solve launch overhead in the microsecond range that repeated
+/// triangular solves require) and then block on a condition variable so an
+/// idle team does not burn a whole socket.
+namespace rtl {
+
+/// Fixed-size thread team executing SPMD regions.
+///
+/// `run(f)` invokes `f(tid)` on every team member (the calling thread
+/// participates as tid 0) and returns when all members have finished.
+/// A team-wide `SpinBarrier` is available to region bodies via `barrier()`.
+class ThreadTeam {
+ public:
+  /// Spawn a team of `num_threads` members (>= 1). The constructor spawns
+  /// `num_threads - 1` workers; the caller of `run` acts as member 0.
+  explicit ThreadTeam(int num_threads);
+
+  /// Joins all workers.
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  /// Number of team members (including the caller).
+  [[nodiscard]] int size() const noexcept { return num_threads_; }
+
+  /// Team-wide barrier usable inside a region body. Each member must use
+  /// its own BarrierToken; see `run` for the canonical pattern.
+  [[nodiscard]] SpinBarrier& barrier() noexcept { return barrier_; }
+
+  /// Execute `f(tid)` for tid in [0, size()) in parallel; returns when all
+  /// members completed. Not reentrant: `f` must not call `run` on the same
+  /// team.
+  ///
+  /// Exception policy: if any member throws, the first exception is
+  /// rethrown on the caller after all members finished. Bodies that other
+  /// members busy-wait on (self-executing loops) must not throw — a thrown
+  /// consumer leaves its flag unset and peers would spin forever; this
+  /// escape hatch exists for inspector-phase parallel code only.
+  void run(const std::function<void(int)>& f);
+
+  /// Convenience: statically partition `[0, n)` into contiguous blocks,
+  /// one per member, and run `f(tid, begin, end)`.
+  void parallel_blocks(index_t n,
+                       const std::function<void(int, index_t, index_t)>& f);
+
+ private:
+  void worker_loop(int tid);
+
+  const int num_threads_;
+  SpinBarrier barrier_;
+
+  std::vector<std::thread> workers_;
+
+  // Dispatch state: epoch bumps announce a new job; workers ack by
+  // decrementing `outstanding_`.
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> outstanding_{0};
+  bool shutdown_ = false;
+
+  // First exception thrown by any member during the current region.
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+};
+
+/// Contiguous block of `[0, n)` assigned to member `tid` of `nthreads`
+/// under an even static partition (the paper's "contiguous groups of
+/// roughly equal size", Appendix II §2.1). Returns {begin, end}.
+struct BlockRange {
+  index_t begin;
+  index_t end;
+};
+[[nodiscard]] BlockRange block_range(index_t n, int tid, int nthreads) noexcept;
+
+}  // namespace rtl

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <chrono>
+
+/// Wall-clock timing helpers used by benches and the inspector-cost
+/// measurements (the paper reports all times in milliseconds).
+namespace rtl {
+
+/// Simple monotonic wall timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed milliseconds since construction / last reset.
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed seconds since construction / last reset.
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Run `fn()` `repeats` times and return the *minimum* wall time in
+/// milliseconds — the conventional noise-robust estimator for short
+/// shared-memory kernels.
+template <class Fn>
+[[nodiscard]] double min_time_ms(int repeats, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer t;
+    fn();
+    const double ms = t.elapsed_ms();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace rtl

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// Common scalar/index types shared by every rtl module.
+///
+/// The paper's loops index FORTRAN arrays with default INTEGER; we keep
+/// 32-bit indices for cache density (a schedule is itself a large index
+/// array and its traversal cost is part of what the paper measures).
+namespace rtl {
+
+/// Loop-iteration / matrix-row index.
+using index_t = std::int32_t;
+
+/// Floating-point value type used by the numeric substrates.
+using real_t = double;
+
+/// Size of a destructive-interference-free block. Used to pad per-thread
+/// mutable state so busy-wait flags of different threads never share a line.
+inline constexpr std::size_t cache_line_size = 64;
+
+}  // namespace rtl

@@ -1,0 +1,27 @@
+#include "solver/ilu_preconditioner.hpp"
+
+namespace rtl {
+
+IluPreconditioner::IluPreconditioner(ThreadTeam& team, const CsrMatrix& a,
+                                     int level, DoconsiderOptions options)
+    : ilu_(a, level) {
+  factor_plan_ =
+      std::make_unique<DoconsiderPlan>(team, ilu_.row_dependences(), options);
+  solver_ = std::make_unique<ParallelTriangularSolver>(team, ilu_, options);
+  workspaces_.reserve(static_cast<std::size_t>(team.size()));
+  for (int t = 0; t < team.size(); ++t) workspaces_.emplace_back(ilu_.size());
+  tmp_.resize(static_cast<std::size_t>(ilu_.size()));
+}
+
+void IluPreconditioner::factor(ThreadTeam& team, const CsrMatrix& a) {
+  factor_plan_->execute(team, [&](int tid, index_t i) {
+    ilu_.factor_row(a, i, workspaces_[static_cast<std::size_t>(tid)]);
+  });
+}
+
+void IluPreconditioner::apply(ThreadTeam& team, std::span<const real_t> r,
+                              std::span<real_t> z) {
+  solver_->solve(team, r, tmp_, z);
+}
+
+}  // namespace rtl

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/doconsider.hpp"
+#include "runtime/thread_team.hpp"
+#include "solver/parallel_triangular.hpp"
+#include "solver/preconditioner.hpp"
+#include "sparse/ilu.hpp"
+
+/// ILU(k) preconditioner with parallel numeric factorization and parallel
+/// triangular solves (Appendix II §2.2).
+namespace rtl {
+
+/// Q = L U ~= A applied as z = U^{-1} L^{-1} r.
+///
+/// Construction performs the symbolic factorization (sequential, Appendix
+/// II §2.3) and the inspectors for both the numeric factorization and the
+/// triangular solves; `factor()` runs the parallel numeric factorization
+/// (Figure 13's loop parallelized exactly like the solve) and may be called
+/// again whenever A's values change.
+class IluPreconditioner : public Preconditioner {
+ public:
+  /// Symbolic phase + inspectors for `a` with fill level `level`.
+  IluPreconditioner(ThreadTeam& team, const CsrMatrix& a, int level,
+                    DoconsiderOptions options = {});
+
+  /// Parallel numeric factorization of `a` over the fixed pattern.
+  /// `a` must have the structure the preconditioner was built with.
+  void factor(ThreadTeam& team, const CsrMatrix& a);
+
+  /// z <- U^{-1} L^{-1} r.
+  void apply(ThreadTeam& team, std::span<const real_t> r,
+             std::span<real_t> z) override;
+
+  [[nodiscard]] const IluFactorization& factors() const noexcept {
+    return ilu_;
+  }
+  [[nodiscard]] ParallelTriangularSolver& triangular_solver() noexcept {
+    return *solver_;
+  }
+
+ private:
+  IluFactorization ilu_;
+  std::unique_ptr<DoconsiderPlan> factor_plan_;
+  std::unique_ptr<ParallelTriangularSolver> solver_;
+  std::vector<IluFactorization::Workspace> workspaces_;
+  std::vector<real_t> tmp_;
+};
+
+}  // namespace rtl

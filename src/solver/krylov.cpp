@@ -1,0 +1,195 @@
+#include "solver/krylov.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "sparse/parallel_ops.hpp"
+
+namespace rtl {
+
+namespace {
+
+/// z <- M^{-1} r, or z <- r when no preconditioner is supplied.
+void apply_precond(ThreadTeam& team, Preconditioner* m,
+                   std::span<const real_t> r, std::span<real_t> z) {
+  if (m != nullptr) {
+    m->apply(team, r, z);
+  } else {
+    par_copy(team, r, z);
+  }
+}
+
+}  // namespace
+
+KrylovResult pcg_solve(ThreadTeam& team, const CsrMatrix& a,
+                       std::span<const real_t> b, std::span<real_t> x,
+                       Preconditioner* precond,
+                       const KrylovOptions& options) {
+  const index_t n = a.rows();
+  assert(a.cols() == n);
+  assert(static_cast<index_t>(b.size()) == n);
+  assert(static_cast<index_t>(x.size()) == n);
+  std::vector<real_t> r(static_cast<std::size_t>(n));
+  std::vector<real_t> z(static_cast<std::size_t>(n));
+  std::vector<real_t> p(static_cast<std::size_t>(n));
+  std::vector<real_t> q(static_cast<std::size_t>(n));
+
+  // r = b - A x
+  par_spmv(team, a, x, r);
+  par_xpby(team, b, -1.0, r);
+
+  const real_t bnorm = par_norm2(team, b);
+  const real_t target = options.rtol * (bnorm > 0.0 ? bnorm : 1.0);
+
+  KrylovResult result;
+  real_t rnorm = par_norm2(team, r);
+  if (rnorm <= target) {
+    result.converged = true;
+    result.residual_norm = rnorm;
+    return result;
+  }
+
+  apply_precond(team, precond, r, z);
+  par_copy(team, z, p);
+  real_t rho = par_dot(team, r, z);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    par_spmv(team, a, p, q);
+    const real_t alpha = rho / par_dot(team, p, q);
+    par_axpy(team, alpha, p, x);
+    par_axpy(team, -alpha, q, r);
+    ++result.iterations;
+
+    rnorm = par_norm2(team, r);
+    if (rnorm <= target) {
+      result.converged = true;
+      break;
+    }
+    apply_precond(team, precond, r, z);
+    const real_t rho_next = par_dot(team, r, z);
+    const real_t beta = rho_next / rho;
+    rho = rho_next;
+    // p = z + beta p
+    par_xpby(team, z, beta, p);
+  }
+  result.residual_norm = rnorm;
+  return result;
+}
+
+KrylovResult gmres_solve(ThreadTeam& team, const CsrMatrix& a,
+                         std::span<const real_t> b, std::span<real_t> x,
+                         Preconditioner* precond,
+                         const KrylovOptions& options) {
+  const index_t n = a.rows();
+  assert(a.cols() == n);
+  assert(static_cast<index_t>(b.size()) == n);
+  assert(static_cast<index_t>(x.size()) == n);
+  const int m = options.restart;
+
+  // Krylov basis V (m+1 vectors) + Hessenberg H ((m+1) x m, column major
+  // by iteration), Givens rotations (cs, sn), residual vector g.
+  std::vector<std::vector<real_t>> basis(
+      static_cast<std::size_t>(m) + 1,
+      std::vector<real_t>(static_cast<std::size_t>(n)));
+  std::vector<real_t> h(static_cast<std::size_t>((m + 1) * m), 0.0);
+  const auto H = [&](int i, int j) -> real_t& {
+    return h[static_cast<std::size_t>(j * (m + 1) + i)];
+  };
+  std::vector<real_t> cs(static_cast<std::size_t>(m), 0.0);
+  std::vector<real_t> sn(static_cast<std::size_t>(m), 0.0);
+  std::vector<real_t> g(static_cast<std::size_t>(m) + 1, 0.0);
+  std::vector<real_t> work(static_cast<std::size_t>(n));
+  std::vector<real_t> work2(static_cast<std::size_t>(n));
+
+  // Convergence target in the *preconditioned* norm.
+  apply_precond(team, precond, b, work);
+  const real_t pb_norm = par_norm2(team, work);
+  const real_t target = options.rtol * (pb_norm > 0.0 ? pb_norm : 1.0);
+
+  KrylovResult result;
+  real_t beta = 0.0;
+  while (result.iterations < options.max_iterations) {
+    // r = M^{-1} (b - A x)
+    par_spmv(team, a, x, work);
+    par_xpby(team, b, -1.0, work);
+    apply_precond(team, precond, work, basis[0]);
+    beta = par_norm2(team, basis[0]);
+    if (beta <= target) {
+      result.converged = true;
+      break;
+    }
+    par_scale(team, 1.0 / beta, basis[0]);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int j = 0;
+    for (; j < m && result.iterations < options.max_iterations; ++j) {
+      ++result.iterations;
+      // w = M^{-1} A v_j
+      par_spmv(team, a, basis[static_cast<std::size_t>(j)], work2);
+      apply_precond(team, precond, work2,
+                    basis[static_cast<std::size_t>(j) + 1]);
+      auto& w = basis[static_cast<std::size_t>(j) + 1];
+      // Modified Gram-Schmidt.
+      for (int i = 0; i <= j; ++i) {
+        const real_t hij =
+            par_dot(team, w, basis[static_cast<std::size_t>(i)]);
+        H(i, j) = hij;
+        par_axpy(team, -hij, basis[static_cast<std::size_t>(i)], w);
+      }
+      const real_t hnext = par_norm2(team, w);
+      H(j + 1, j) = hnext;
+      if (hnext > 0.0) par_scale(team, 1.0 / hnext, w);
+
+      // Apply previous Givens rotations to the new column.
+      for (int i = 0; i < j; ++i) {
+        const real_t t = cs[static_cast<std::size_t>(i)] * H(i, j) +
+                         sn[static_cast<std::size_t>(i)] * H(i + 1, j);
+        H(i + 1, j) = -sn[static_cast<std::size_t>(i)] * H(i, j) +
+                      cs[static_cast<std::size_t>(i)] * H(i + 1, j);
+        H(i, j) = t;
+      }
+      // New rotation annihilating H(j+1, j).
+      const real_t denom = std::hypot(H(j, j), H(j + 1, j));
+      cs[static_cast<std::size_t>(j)] = denom == 0.0 ? 1.0 : H(j, j) / denom;
+      sn[static_cast<std::size_t>(j)] =
+          denom == 0.0 ? 0.0 : H(j + 1, j) / denom;
+      H(j, j) = denom;
+      H(j + 1, j) = 0.0;
+      g[static_cast<std::size_t>(j) + 1] =
+          -sn[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j)] =
+          cs[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+
+      if (std::abs(g[static_cast<std::size_t>(j) + 1]) <= target) {
+        ++j;
+        break;
+      }
+    }
+    // Solve the upper-triangular system H y = g and update x.
+    std::vector<real_t> y(static_cast<std::size_t>(j), 0.0);
+    for (int i = j - 1; i >= 0; --i) {
+      real_t sum = g[static_cast<std::size_t>(i)];
+      for (int k = i + 1; k < j; ++k) {
+        sum -= H(i, k) * y[static_cast<std::size_t>(k)];
+      }
+      y[static_cast<std::size_t>(i)] = sum / H(i, i);
+    }
+    for (int i = 0; i < j; ++i) {
+      par_axpy(team, y[static_cast<std::size_t>(i)],
+               basis[static_cast<std::size_t>(i)], x);
+    }
+    result.residual_norm = std::abs(g[static_cast<std::size_t>(j)]);
+    if (result.residual_norm <= target) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (result.converged && result.residual_norm == 0.0) {
+    result.residual_norm = beta <= target ? beta : result.residual_norm;
+  }
+  return result;
+}
+
+}  // namespace rtl

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <span>
+
+#include "runtime/thread_team.hpp"
+#include "solver/preconditioner.hpp"
+#include "sparse/csr.hpp"
+
+/// Preconditioned Krylov methods — the PCGPAK-analogue driver (Appendix I
+/// §1.1). Given an initial guess x0, these methods pick the approximate
+/// solution from the translated Krylov space x0 + span{r0, M r0, ...},
+/// minimizing a residual norm. The basic tasks are sparse matrix-vector
+/// multiplies, SAXPYs and inner products (block-parallelized, Appendix II
+/// §2.1), plus the preconditioner's triangular solves (inspector/executor
+/// parallelized, Appendix II §2.2).
+namespace rtl {
+
+/// Iteration controls shared by the Krylov methods.
+struct KrylovOptions {
+  /// Maximum total iterations (across restarts for GMRES).
+  int max_iterations = 500;
+  /// Relative residual reduction target ||r|| <= rtol * ||b||.
+  double rtol = 1e-10;
+  /// GMRES restart length m.
+  int restart = 30;
+};
+
+/// Outcome of a Krylov solve.
+struct KrylovResult {
+  bool converged = false;
+  int iterations = 0;
+  /// Final (preconditioned, for GMRES/CG as implemented) residual norm.
+  double residual_norm = 0.0;
+};
+
+/// Preconditioned conjugate gradients for symmetric positive definite A.
+/// `precond` may be null (plain CG). x holds the initial guess on entry and
+/// the solution on exit.
+KrylovResult pcg_solve(ThreadTeam& team, const CsrMatrix& a,
+                       std::span<const real_t> b, std::span<real_t> x,
+                       Preconditioner* precond,
+                       const KrylovOptions& options = {});
+
+/// Left-preconditioned restarted GMRES(m) for general nonsymmetric A.
+/// `precond` may be null. x holds the initial guess / solution.
+KrylovResult gmres_solve(ThreadTeam& team, const CsrMatrix& a,
+                         std::span<const real_t> b, std::span<real_t> x,
+                         Preconditioner* precond,
+                         const KrylovOptions& options = {});
+
+}  // namespace rtl

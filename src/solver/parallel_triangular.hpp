@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/doconsider.hpp"
+#include "runtime/thread_team.hpp"
+#include "sparse/ilu.hpp"
+
+/// Parallel sparse triangular solves via the inspector/executor machinery —
+/// the paper's flagship application (Figure 8 + Appendix II §2.2.1).
+namespace rtl {
+
+/// Inspector/executor pair for forward + backward substitution with the
+/// factors of an `IluFactorization`. The inspector (wavefronts + schedule,
+/// for both the L graph and the reversed-order U graph) runs once in the
+/// constructor and is reused for every solve.
+class ParallelTriangularSolver {
+ public:
+  /// Plan solves of `ilu.lower()` / `ilu.upper()` on `team`.
+  /// `ilu` must outlive the solver; its *values* may change between solves
+  /// (re-factorization), its *structure* must not.
+  ParallelTriangularSolver(ThreadTeam& team, const IluFactorization& ilu,
+                           DoconsiderOptions options = {});
+
+  /// y <- L^{-1} rhs (unit lower L). Executor shape per plan options.
+  void solve_lower(ThreadTeam& team, std::span<const real_t> rhs,
+                   std::span<real_t> y);
+
+  /// y <- U^{-1} rhs. Row substitutions proceed from the last row upward;
+  /// iteration k of the executor handles row n-1-k.
+  void solve_upper(ThreadTeam& team, std::span<const real_t> rhs,
+                   std::span<real_t> y);
+
+  /// y <- U^{-1} L^{-1} rhs using `tmp` as the intermediate vector.
+  void solve(ThreadTeam& team, std::span<const real_t> rhs,
+             std::span<real_t> tmp, std::span<real_t> y);
+
+  /// Inspector state, exposed for instrumentation and tests.
+  [[nodiscard]] const DoconsiderPlan& lower_plan() const noexcept {
+    return *lower_plan_;
+  }
+  [[nodiscard]] const DoconsiderPlan& upper_plan() const noexcept {
+    return *upper_plan_;
+  }
+
+ private:
+  const IluFactorization* ilu_;
+  std::unique_ptr<DoconsiderPlan> lower_plan_;
+  std::unique_ptr<DoconsiderPlan> upper_plan_;
+};
+
+}  // namespace rtl

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+
+#include "runtime/thread_team.hpp"
+#include "runtime/types.hpp"
+
+/// Abstract preconditioner interface for the Krylov methods.
+///
+/// PCGPAK applies Q^{-1} = (L U)^{-1} through triangular solves; the
+/// Krylov drivers only need "z <- M^{-1} r", so they program against this
+/// interface. Production code uses `IluPreconditioner`; benches substitute
+/// instrumented variants (e.g. with amplified per-row cost to emulate the
+/// paper's machine).
+namespace rtl {
+
+/// z <- M^{-1} r applied on a thread team.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// Apply the preconditioner. `r` and `z` have the system dimension;
+  /// implementations may use internal scratch state (calls are not
+  /// required to be reentrant).
+  virtual void apply(ThreadTeam& team, std::span<const real_t> r,
+                     std::span<real_t> z) = 0;
+};
+
+}  // namespace rtl

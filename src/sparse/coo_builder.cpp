@@ -1,0 +1,45 @@
+#include "sparse/coo_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtl {
+
+void CooBuilder::add(index_t row, index_t col, real_t value) {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+    throw std::out_of_range("CooBuilder::add: coordinate out of range");
+  }
+  entries_.push_back({row, col, value});
+}
+
+CsrMatrix CooBuilder::build() const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  std::vector<index_t> ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<index_t> col;
+  std::vector<real_t> val;
+  col.reserve(sorted.size());
+  val.reserve(sorted.size());
+
+  std::size_t k = 0;
+  for (index_t i = 0; i < rows_; ++i) {
+    while (k < sorted.size() && sorted[k].row == i) {
+      const index_t c = sorted[k].col;
+      real_t sum = 0.0;
+      while (k < sorted.size() && sorted[k].row == i && sorted[k].col == c) {
+        sum += sorted[k].value;
+        ++k;
+      }
+      col.push_back(c);
+      val.push_back(sum);
+    }
+    ptr[static_cast<std::size_t>(i) + 1] = static_cast<index_t>(col.size());
+  }
+  return CsrMatrix(rows_, cols_, std::move(ptr), std::move(col),
+                   std::move(val));
+}
+
+}  // namespace rtl

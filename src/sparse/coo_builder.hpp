@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "sparse/csr.hpp"
+
+/// Triplet-based sparse matrix assembly used by the workload generators.
+namespace rtl {
+
+/// Accumulates (row, col, value) triplets and converts to CSR.
+/// Duplicate coordinates are summed (finite-element style assembly).
+class CooBuilder {
+ public:
+  /// Start assembling a rows x cols matrix.
+  CooBuilder(index_t rows, index_t cols) : rows_(rows), cols_(cols) {}
+
+  /// Append one entry; duplicates accumulate.
+  void add(index_t row, index_t col, real_t value);
+
+  /// Number of (possibly duplicate) triplets so far.
+  [[nodiscard]] std::size_t num_triplets() const noexcept {
+    return entries_.size();
+  }
+
+  /// Sort, merge duplicates, and produce the CSR matrix.
+  /// Entries that sum to exactly zero are retained (structural nonzeros).
+  [[nodiscard]] CsrMatrix build() const;
+
+ private:
+  struct Entry {
+    index_t row;
+    index_t col;
+    real_t value;
+  };
+
+  index_t rows_;
+  index_t cols_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rtl

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+/// Compressed-sparse-row matrices — the storage format of the paper's
+/// triangular-solve and factorization loops (the `ija`/`a` arrays of
+/// Figure 8).
+namespace rtl {
+
+/// Square/rectangular sparse matrix in CSR layout with sorted column
+/// indices within each row.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from raw arrays. `ptr` has rows+1 entries; `col[ptr[i]..ptr[i+1])`
+  /// are the (sorted, in-range) column indices of row i.
+  CsrMatrix(index_t rows, index_t cols, std::vector<index_t> ptr,
+            std::vector<index_t> col, std::vector<real_t> val);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t nnz() const noexcept {
+    return static_cast<index_t>(col_.size());
+  }
+
+  [[nodiscard]] std::span<const index_t> row_ptr() const noexcept {
+    return ptr_;
+  }
+  [[nodiscard]] std::span<const index_t> col_idx() const noexcept {
+    return col_;
+  }
+  [[nodiscard]] std::span<const real_t> values() const noexcept {
+    return val_;
+  }
+  [[nodiscard]] std::span<real_t> values() noexcept { return val_; }
+
+  /// Column indices of row i.
+  [[nodiscard]] std::span<const index_t> row_cols(index_t i) const noexcept {
+    return {col_.data() + ptr_[static_cast<std::size_t>(i)],
+            col_.data() + ptr_[static_cast<std::size_t>(i) + 1]};
+  }
+  /// Values of row i (parallel to `row_cols(i)`).
+  [[nodiscard]] std::span<const real_t> row_vals(index_t i) const noexcept {
+    return {val_.data() + ptr_[static_cast<std::size_t>(i)],
+            val_.data() + ptr_[static_cast<std::size_t>(i) + 1]};
+  }
+  [[nodiscard]] std::span<real_t> row_vals(index_t i) noexcept {
+    return {val_.data() + ptr_[static_cast<std::size_t>(i)],
+            val_.data() + ptr_[static_cast<std::size_t>(i) + 1]};
+  }
+
+  /// y = A x (sequential).
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const;
+
+  /// Value at (i, j), or 0 if not stored. Binary search within the row.
+  [[nodiscard]] real_t at(index_t i, index_t j) const noexcept;
+
+  /// Strictly lower-triangular part (values and structure).
+  [[nodiscard]] CsrMatrix strict_lower() const;
+  /// Upper-triangular part including the diagonal.
+  [[nodiscard]] CsrMatrix upper_with_diag() const;
+  /// Diagonal entries as a dense vector (0 where absent).
+  [[nodiscard]] std::vector<real_t> diagonal() const;
+
+  /// Transpose (result rows sorted).
+  [[nodiscard]] CsrMatrix transposed() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> ptr_{0};
+  std::vector<index_t> col_;
+  std::vector<real_t> val_;
+};
+
+}  // namespace rtl

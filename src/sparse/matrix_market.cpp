@@ -1,0 +1,126 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/coo_builder.hpp"
+
+namespace rtl {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  std::ostringstream os;
+  os << "matrix market: line " << line << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  // Header: %%MatrixMarket matrix coordinate real {general|symmetric}
+  if (!std::getline(in, line)) fail(1, "empty input");
+  ++lineno;
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (lower(banner) != "%%matrixmarket") {
+    fail(lineno, "missing %%MatrixMarket banner");
+  }
+  if (lower(object) != "matrix" || lower(format) != "coordinate") {
+    fail(lineno, "only 'matrix coordinate' inputs are supported");
+  }
+  const std::string f = lower(field);
+  if (f != "real" && f != "integer") {
+    fail(lineno, "only real/integer fields are supported");
+  }
+  const std::string sym = lower(symmetry);
+  const bool symmetric = sym == "symmetric";
+  if (!symmetric && sym != "general") {
+    fail(lineno, "only general/symmetric symmetry is supported");
+  }
+
+  // Size line (after comments).
+  index_t rows = 0, cols = 0;
+  long long entries = -1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> entries)) {
+      fail(lineno, "malformed size line");
+    }
+    break;
+  }
+  if (entries < 0) fail(lineno, "missing size line");
+  if (rows < 0 || cols < 0) fail(lineno, "negative dimensions");
+
+  CooBuilder coo(rows, cols);
+  long long seen = 0;
+  while (seen < entries) {
+    if (!std::getline(in, line)) {
+      fail(lineno, "unexpected end of file: " + std::to_string(seen) +
+                       " of " + std::to_string(entries) + " entries read");
+    }
+    ++lineno;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    index_t r = 0, c = 0;
+    real_t v = 0.0;
+    if (!(entry >> r >> c >> v)) fail(lineno, "malformed entry");
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      fail(lineno, "entry out of bounds");
+    }
+    coo.add(r - 1, c - 1, v);
+    if (symmetric && r != c) coo.add(c - 1, r - 1, v);
+    ++seen;
+  }
+  return coo.build();
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("matrix market: cannot open " + path);
+  }
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << " " << a.cols() << " " << a.nnz() << "\n";
+  out << std::setprecision(17);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cs = a.row_cols(i);
+    const auto vs = a.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      out << (i + 1) << " " << (cs[k] + 1) << " " << vs[k] << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("matrix market: cannot open " + path);
+  }
+  write_matrix_market(out, a);
+  if (!out) {
+    throw std::runtime_error("matrix market: write failed for " + path);
+  }
+}
+
+}  // namespace rtl

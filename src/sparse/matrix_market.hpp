@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+/// Matrix Market (.mtx) coordinate-format I/O.
+///
+/// The paper's SPE matrices came from external reservoir simulators; a
+/// downstream user of this library will want to feed their own systems in
+/// the de-facto standard exchange format. Supports the
+/// `matrix coordinate real {general|symmetric}` header family; symmetric
+/// inputs are expanded to full storage (both triangles).
+namespace rtl {
+
+/// Parse a Matrix Market stream. Throws `std::runtime_error` with a
+/// line-numbered message on malformed input.
+[[nodiscard]] CsrMatrix read_matrix_market(std::istream& in);
+
+/// Read a .mtx file from disk. Throws on I/O or parse failure.
+[[nodiscard]] CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Write `a` in `matrix coordinate real general` format (1-based indices,
+/// full precision).
+void write_matrix_market(std::ostream& out, const CsrMatrix& a);
+
+/// Write a .mtx file to disk. Throws on I/O failure.
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a);
+
+}  // namespace rtl

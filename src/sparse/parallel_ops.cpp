@@ -1,0 +1,112 @@
+#include "sparse/parallel_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace rtl {
+
+namespace {
+
+/// Cache-line-padded accumulator slot for per-thread partial reductions.
+struct alignas(cache_line_size) PaddedSum {
+  real_t value = 0.0;
+};
+
+}  // namespace
+
+void par_axpy(ThreadTeam& team, real_t a, std::span<const real_t> x,
+              std::span<real_t> y) {
+  assert(x.size() == y.size());
+  team.parallel_blocks(static_cast<index_t>(x.size()),
+                       [&](int, index_t b, index_t e) {
+                         for (index_t i = b; i < e; ++i) {
+                           y[static_cast<std::size_t>(i)] +=
+                               a * x[static_cast<std::size_t>(i)];
+                         }
+                       });
+}
+
+void par_xpby(ThreadTeam& team, std::span<const real_t> x, real_t b,
+              std::span<real_t> y) {
+  assert(x.size() == y.size());
+  team.parallel_blocks(static_cast<index_t>(x.size()),
+                       [&](int, index_t lo, index_t hi) {
+                         for (index_t i = lo; i < hi; ++i) {
+                           y[static_cast<std::size_t>(i)] =
+                               x[static_cast<std::size_t>(i)] +
+                               b * y[static_cast<std::size_t>(i)];
+                         }
+                       });
+}
+
+void par_copy(ThreadTeam& team, std::span<const real_t> src,
+              std::span<real_t> dst) {
+  assert(src.size() == dst.size());
+  team.parallel_blocks(static_cast<index_t>(src.size()),
+                       [&](int, index_t b, index_t e) {
+                         for (index_t i = b; i < e; ++i) {
+                           dst[static_cast<std::size_t>(i)] =
+                               src[static_cast<std::size_t>(i)];
+                         }
+                       });
+}
+
+void par_fill(ThreadTeam& team, real_t value, std::span<real_t> dst) {
+  team.parallel_blocks(static_cast<index_t>(dst.size()),
+                       [&](int, index_t b, index_t e) {
+                         for (index_t i = b; i < e; ++i) {
+                           dst[static_cast<std::size_t>(i)] = value;
+                         }
+                       });
+}
+
+void par_scale(ThreadTeam& team, real_t a, std::span<real_t> x) {
+  team.parallel_blocks(static_cast<index_t>(x.size()),
+                       [&](int, index_t b, index_t e) {
+                         for (index_t i = b; i < e; ++i) {
+                           x[static_cast<std::size_t>(i)] *= a;
+                         }
+                       });
+}
+
+real_t par_dot(ThreadTeam& team, std::span<const real_t> x,
+               std::span<const real_t> y) {
+  assert(x.size() == y.size());
+  std::vector<PaddedSum> partial(static_cast<std::size_t>(team.size()));
+  team.parallel_blocks(static_cast<index_t>(x.size()),
+                       [&](int tid, index_t b, index_t e) {
+                         real_t s = 0.0;
+                         for (index_t i = b; i < e; ++i) {
+                           s += x[static_cast<std::size_t>(i)] *
+                                y[static_cast<std::size_t>(i)];
+                         }
+                         partial[static_cast<std::size_t>(tid)].value = s;
+                       });
+  real_t total = 0.0;
+  for (const auto& p : partial) total += p.value;
+  return total;
+}
+
+real_t par_norm2(ThreadTeam& team, std::span<const real_t> x) {
+  return std::sqrt(par_dot(team, x, x));
+}
+
+void par_spmv(ThreadTeam& team, const CsrMatrix& a, std::span<const real_t> x,
+              std::span<real_t> y) {
+  assert(static_cast<index_t>(x.size()) == a.cols());
+  assert(static_cast<index_t>(y.size()) == a.rows());
+  team.parallel_blocks(a.rows(), [&](int, index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) {
+      real_t sum = 0.0;
+      const auto cs = a.row_cols(i);
+      const auto vs = a.row_vals(i);
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        sum += vs[k] * x[static_cast<std::size_t>(cs[k])];
+      }
+      y[static_cast<std::size_t>(i)] = sum;
+    }
+  });
+}
+
+}  // namespace rtl

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+
+#include "runtime/thread_team.hpp"
+#include "runtime/types.hpp"
+#include "sparse/csr.hpp"
+
+/// Parallel vector and matrix kernels of the Krylov substrate.
+///
+/// Appendix II §2.1: the easily-parallelizable procedures — SAXPYs, vector
+/// inner products, and sparse matrix-vector products — divide the indices
+/// 1..n into p contiguous groups of roughly equal size, group i going to
+/// processor i. These kernels follow that static block decomposition.
+namespace rtl {
+
+/// y <- a*x + y over the team.
+void par_axpy(ThreadTeam& team, real_t a, std::span<const real_t> x,
+              std::span<real_t> y);
+
+/// y <- x + b*y over the team (the "xpby" update used by CG).
+void par_xpby(ThreadTeam& team, std::span<const real_t> x, real_t b,
+              std::span<real_t> y);
+
+/// dst <- src over the team.
+void par_copy(ThreadTeam& team, std::span<const real_t> src,
+              std::span<real_t> dst);
+
+/// dst <- value over the team.
+void par_fill(ThreadTeam& team, real_t value, std::span<real_t> dst);
+
+/// x <- a*x over the team.
+void par_scale(ThreadTeam& team, real_t a, std::span<real_t> x);
+
+/// Returns <x, y>. Per-thread partial sums are padded to a cache line and
+/// reduced by the caller thread.
+[[nodiscard]] real_t par_dot(ThreadTeam& team, std::span<const real_t> x,
+                             std::span<const real_t> y);
+
+/// Returns ||x||_2.
+[[nodiscard]] real_t par_norm2(ThreadTeam& team, std::span<const real_t> x);
+
+/// y <- A x with rows block-partitioned over the team.
+void par_spmv(ThreadTeam& team, const CsrMatrix& a, std::span<const real_t> x,
+              std::span<real_t> y);
+
+}  // namespace rtl

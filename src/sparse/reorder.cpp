@@ -1,0 +1,165 @@
+#include "sparse/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "sparse/coo_builder.hpp"
+#include "sparse/triangular.hpp"
+
+namespace rtl {
+
+std::vector<index_t> Permutation::inverse() const {
+  std::vector<index_t> inv(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    inv[static_cast<std::size_t>(perm[k])] = static_cast<index_t>(k);
+  }
+  return inv;
+}
+
+bool Permutation::is_valid() const {
+  std::vector<char> seen(perm.size(), 0);
+  for (const index_t v : perm) {
+    if (v < 0 || v >= static_cast<index_t>(perm.size())) return false;
+    if (seen[static_cast<std::size_t>(v)]++) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Undirected adjacency of the symmetrized structure, diagonal excluded.
+std::vector<std::vector<index_t>> symmetrized_adjacency(const CsrMatrix& a) {
+  const index_t n = a.rows();
+  std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    for (const index_t j : a.row_cols(i)) {
+      if (j == i) continue;
+      adj[static_cast<std::size_t>(i)].push_back(j);
+      adj[static_cast<std::size_t>(j)].push_back(i);
+    }
+  }
+  for (auto& row : adj) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+Permutation reverse_cuthill_mckee(const CsrMatrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("reverse_cuthill_mckee: matrix must be square");
+  }
+  const index_t n = a.rows();
+  const auto adj = symmetrized_adjacency(a);
+
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+
+  // Process components in order of their minimum-degree unvisited vertex.
+  for (index_t seed_scan = 0; seed_scan < n; ++seed_scan) {
+    if (visited[static_cast<std::size_t>(seed_scan)]) continue;
+    // Pick the minimum-degree vertex of this component as the BFS root
+    // (cheap peripheral-vertex heuristic).
+    index_t root = seed_scan;
+    {
+      // Find component members by BFS first.
+      std::vector<index_t> component;
+      std::queue<index_t> q;
+      std::vector<char> mark(static_cast<std::size_t>(n), 0);
+      q.push(seed_scan);
+      mark[static_cast<std::size_t>(seed_scan)] = 1;
+      while (!q.empty()) {
+        const index_t v = q.front();
+        q.pop();
+        component.push_back(v);
+        for (const index_t w : adj[static_cast<std::size_t>(v)]) {
+          if (!mark[static_cast<std::size_t>(w)] &&
+              !visited[static_cast<std::size_t>(w)]) {
+            mark[static_cast<std::size_t>(w)] = 1;
+            q.push(w);
+          }
+        }
+      }
+      for (const index_t v : component) {
+        if (adj[static_cast<std::size_t>(v)].size() <
+            adj[static_cast<std::size_t>(root)].size()) {
+          root = v;
+        }
+      }
+    }
+    // Cuthill-McKee BFS: neighbours appended in increasing-degree order.
+    std::queue<index_t> q;
+    q.push(root);
+    visited[static_cast<std::size_t>(root)] = 1;
+    std::vector<index_t> buffer;
+    while (!q.empty()) {
+      const index_t v = q.front();
+      q.pop();
+      order.push_back(v);
+      buffer.clear();
+      for (const index_t w : adj[static_cast<std::size_t>(v)]) {
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = 1;
+          buffer.push_back(w);
+        }
+      }
+      std::sort(buffer.begin(), buffer.end(), [&](index_t x, index_t y) {
+        return adj[static_cast<std::size_t>(x)].size() <
+               adj[static_cast<std::size_t>(y)].size();
+      });
+      for (const index_t w : buffer) q.push(w);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return Permutation{std::move(order)};
+}
+
+Permutation wavefront_order(const CsrMatrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("wavefront_order: matrix must be square");
+  }
+  const auto g = lower_solve_dependences(a.strict_lower());
+  const auto wf = compute_wavefronts(g);
+  std::vector<index_t> order(static_cast<std::size_t>(a.rows()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return wf.wave[static_cast<std::size_t>(x)] <
+           wf.wave[static_cast<std::size_t>(y)];
+  });
+  return Permutation{std::move(order)};
+}
+
+CsrMatrix permute_symmetric(const CsrMatrix& a, const Permutation& p) {
+  if (a.rows() != a.cols() ||
+      static_cast<index_t>(p.perm.size()) != a.rows()) {
+    throw std::invalid_argument("permute_symmetric: size mismatch");
+  }
+  const auto inv = p.inverse();
+  CooBuilder coo(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cs = a.row_cols(i);
+    const auto vs = a.row_vals(i);
+    const index_t ni = inv[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      coo.add(ni, inv[static_cast<std::size_t>(cs[k])], vs[k]);
+    }
+  }
+  return coo.build();
+}
+
+index_t bandwidth(const CsrMatrix& a) {
+  index_t bw = 0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (const index_t j : a.row_cols(i)) {
+      bw = std::max(bw, std::abs(i - j));
+    }
+  }
+  return bw;
+}
+
+}  // namespace rtl

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/wavefront.hpp"
+#include "runtime/types.hpp"
+#include "sparse/csr.hpp"
+
+/// Matrix reorderings that change the available loop-level parallelism.
+///
+/// The paper's related work (§3) points at numerical methods that
+/// "reorder operations to increase available parallelism" (Anderson;
+/// Saltz's aggregation methods). Reordering composes with the
+/// inspector/executor machinery: permuting the matrix permutes the
+/// dependence DAG of its triangular solves, changing the wavefront count
+/// and width that the schedulers then exploit.
+namespace rtl {
+
+/// A permutation of 0..n-1: `perm[new_index] == old_index`.
+struct Permutation {
+  std::vector<index_t> perm;
+
+  /// Inverse map: `inv()[old_index] == new_index`.
+  [[nodiscard]] std::vector<index_t> inverse() const;
+
+  /// True iff this is a bijection on 0..n-1.
+  [[nodiscard]] bool is_valid() const;
+};
+
+/// Reverse Cuthill-McKee ordering of the symmetrized structure of `a`
+/// (bandwidth-reducing BFS from a peripheral vertex per component).
+[[nodiscard]] Permutation reverse_cuthill_mckee(const CsrMatrix& a);
+
+/// Wavefront ordering: sort rows by the wavefront number of the lower
+/// triangle's dependence DAG (ties by original index). After this
+/// permutation each wavefront's rows are contiguous, so block partitions
+/// behave like the wrapped ones and cache locality within a wavefront
+/// improves.
+[[nodiscard]] Permutation wavefront_order(const CsrMatrix& a);
+
+/// Symmetric permutation B = P A P^T: row/column `perm[k]` of A becomes
+/// row/column `k` of B.
+[[nodiscard]] CsrMatrix permute_symmetric(const CsrMatrix& a,
+                                          const Permutation& p);
+
+/// Bandwidth of the structure: max |i - j| over stored entries.
+[[nodiscard]] index_t bandwidth(const CsrMatrix& a);
+
+}  // namespace rtl

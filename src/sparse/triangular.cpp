@@ -1,0 +1,86 @@
+#include "sparse/triangular.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rtl {
+
+void solve_lower_unit(const CsrMatrix& lower, std::span<const real_t> rhs,
+                      std::span<real_t> y) {
+  const index_t n = lower.rows();
+  assert(static_cast<index_t>(rhs.size()) == n);
+  assert(static_cast<index_t>(y.size()) == n);
+  for (index_t i = 0; i < n; ++i) {
+    real_t sum = rhs[static_cast<std::size_t>(i)];
+    const auto cs = lower.row_cols(i);
+    const auto vs = lower.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      sum -= vs[k] * y[static_cast<std::size_t>(cs[k])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+void solve_upper(const CsrMatrix& upper, std::span<const real_t> rhs,
+                 std::span<real_t> y) {
+  const index_t n = upper.rows();
+  assert(static_cast<index_t>(rhs.size()) == n);
+  assert(static_cast<index_t>(y.size()) == n);
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t sum = rhs[static_cast<std::size_t>(i)];
+    real_t diag = 0.0;
+    const auto cs = upper.row_cols(i);
+    const auto vs = upper.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      if (cs[k] == i) {
+        diag = vs[k];
+      } else {
+        sum -= vs[k] * y[static_cast<std::size_t>(cs[k])];
+      }
+    }
+    if (diag == 0.0) {
+      throw std::runtime_error("solve_upper: zero diagonal");
+    }
+    y[static_cast<std::size_t>(i)] = sum / diag;
+  }
+}
+
+DependenceGraph lower_solve_dependences(const CsrMatrix& lower) {
+  const index_t n = lower.rows();
+  std::vector<index_t> ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> adj;
+  adj.reserve(static_cast<std::size_t>(lower.nnz()));
+  for (index_t i = 0; i < n; ++i) {
+    for (const index_t j : lower.row_cols(i)) {
+      if (j >= i) {
+        throw std::invalid_argument(
+            "lower_solve_dependences: matrix not strictly lower triangular");
+      }
+      adj.push_back(j);
+    }
+    ptr[static_cast<std::size_t>(i) + 1] = static_cast<index_t>(adj.size());
+  }
+  return DependenceGraph(n, std::move(ptr), std::move(adj));
+}
+
+DependenceGraph upper_solve_dependences(const CsrMatrix& upper) {
+  const index_t n = upper.rows();
+  std::vector<index_t> ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> adj;
+  // Iteration k of the reversed loop handles row r = n-1-k; a dependence on
+  // row j > r maps to iteration n-1-j < k, keeping the DAG forward-only.
+  for (index_t k = 0; k < n; ++k) {
+    const index_t row = n - 1 - k;
+    for (const index_t j : upper.row_cols(row)) {
+      if (j < row) {
+        throw std::invalid_argument(
+            "upper_solve_dependences: matrix not upper triangular");
+      }
+      if (j > row) adj.push_back(n - 1 - j);
+    }
+    ptr[static_cast<std::size_t>(k) + 1] = static_cast<index_t>(adj.size());
+  }
+  return DependenceGraph(n, std::move(ptr), std::move(adj));
+}
+
+}  // namespace rtl

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+
+#include "graph/dependence_graph.hpp"
+#include "runtime/types.hpp"
+#include "sparse/csr.hpp"
+
+/// Sequential sparse triangular solves (Figure 8) and the extraction of
+/// their run-time dependence structure.
+///
+/// The solution of sparse triangular systems obtained from incomplete
+/// factorizations is the paper's flagship `doconsider` workload: the outer
+/// loop of row substitutions (S1) cannot be parallelized at compile time
+/// because the dependences live in the `ija` indirection array.
+namespace rtl {
+
+/// y <- solve L y = rhs where `lower` holds the *strictly* lower part of a
+/// unit lower-triangular L (the layout produced by `IluFactorization`).
+/// Exactly the loop of Figure 8.
+void solve_lower_unit(const CsrMatrix& lower, std::span<const real_t> rhs,
+                      std::span<real_t> y);
+
+/// y <- solve U y = rhs where `upper` is upper triangular including its
+/// (nonzero) diagonal. Row substitutions run from the last row upwards.
+void solve_upper(const CsrMatrix& upper, std::span<const real_t> rhs,
+                 std::span<real_t> y);
+
+/// Dependence DAG of the forward-substitution loop: row i depends on every
+/// row j < i with a stored entry (i, j). This is the graph the inspector
+/// topologically sorts. `lower` must be strictly lower triangular.
+[[nodiscard]] DependenceGraph lower_solve_dependences(const CsrMatrix& lower);
+
+/// Dependence DAG of the backward-substitution loop over *reversed* row
+/// order: iteration k of the executor handles row n-1-k, and depends on the
+/// iterations owning rows j > row(k) with a stored entry. `upper` must be
+/// upper triangular (diagonal entries are ignored as self-references).
+[[nodiscard]] DependenceGraph upper_solve_dependences(const CsrMatrix& upper);
+
+}  // namespace rtl

@@ -1,0 +1,71 @@
+#include "workload/problems.hpp"
+
+namespace rtl {
+
+TestProblem make_spe1() {
+  return {"SPE1", block_seven_point(10, 10, 10, 1, /*seed=*/101)};
+}
+
+TestProblem make_spe2() {
+  return {"SPE2", block_seven_point(6, 6, 5, 6, /*seed=*/102)};
+}
+
+TestProblem make_spe3() {
+  return {"SPE3", block_seven_point(35, 11, 13, 1, /*seed=*/103)};
+}
+
+TestProblem make_spe4() {
+  return {"SPE4", block_seven_point(16, 23, 3, 1, /*seed=*/104)};
+}
+
+TestProblem make_spe5() {
+  return {"SPE5", block_seven_point(16, 23, 3, 3, /*seed=*/105)};
+}
+
+TestProblem make_5pt() { return {"5-PT", five_point(63, 63)}; }
+
+TestProblem make_l5pt() { return {"L5-PT", five_point(200, 200)}; }
+
+TestProblem make_9pt() { return {"9-PT", nine_point(63, 63)}; }
+
+TestProblem make_l9pt() { return {"L9-PT", nine_point(127, 127)}; }
+
+TestProblem make_7pt() { return {"7-PT", seven_point(20, 20, 20)}; }
+
+TestProblem make_l7pt() { return {"L7-PT", seven_point(30, 30, 30)}; }
+
+std::vector<TestProblem> standard_problem_set() {
+  std::vector<TestProblem> all;
+  all.push_back(make_spe1());
+  all.push_back(make_spe2());
+  all.push_back(make_spe3());
+  all.push_back(make_spe4());
+  all.push_back(make_spe5());
+  all.push_back(make_5pt());
+  all.push_back(make_9pt());
+  all.push_back(make_7pt());
+  return all;
+}
+
+std::vector<TestProblem> scaled_problem_set() {
+  std::vector<TestProblem> all;
+  all.push_back({"SPE1x3", block_seven_point(30, 30, 30, 1, 201)});
+  all.push_back({"SPE2x3", block_seven_point(18, 18, 15, 6, 202)});
+  all.push_back({"SPE3x3", block_seven_point(105, 33, 39, 1, 203)});
+  all.push_back({"SPE4x3", block_seven_point(48, 69, 9, 1, 204)});
+  all.push_back({"SPE5x3", block_seven_point(48, 69, 9, 3, 205)});
+  all.push_back({"5-PTx3", five_point(189, 189)});
+  all.push_back({"9-PTx3", nine_point(189, 189)});
+  all.push_back({"7-PTx3", seven_point(60, 60, 60)});
+  return all;
+}
+
+std::vector<TestProblem> large_problem_set() {
+  std::vector<TestProblem> all;
+  all.push_back(make_l5pt());
+  all.push_back(make_l9pt());
+  all.push_back(make_l7pt());
+  return all;
+}
+
+}  // namespace rtl

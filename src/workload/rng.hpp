@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "runtime/types.hpp"
+
+/// Deterministic random sampling for the synthetic workload generator
+/// (§4.1). Thin, seedable wrappers so that every generated matrix is
+/// reproducible from its parameters + seed.
+namespace rtl {
+
+/// Seeded pseudo-random source with the distributions §4.1 uses.
+class WorkloadRng {
+ public:
+  explicit WorkloadRng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Poisson(lambda): models the number of dependency links per index.
+  [[nodiscard]] index_t poisson(double lambda) {
+    std::poisson_distribution<index_t> d(lambda);
+    return d(engine_);
+  }
+
+  /// Geometric with support {1, 2, ...} and mean `mean` (>= 1): models the
+  /// Manhattan distance of a link. Pr[X = i] = q (1-q)^(i-1) with q = 1/mean.
+  [[nodiscard]] index_t geometric_distance(double mean) {
+    // std::geometric_distribution has support {0, 1, ...} with Pr[X=i] =
+    // p (1-p)^i; shift by one.
+    std::geometric_distribution<index_t> d(1.0 / mean);
+    return d(engine_) + 1;
+  }
+
+  /// Uniform integer in [0, bound).
+  [[nodiscard]] index_t uniform(index_t bound) {
+    std::uniform_int_distribution<index_t> d(0, bound - 1);
+    return d(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] real_t uniform_real(real_t lo, real_t hi) {
+    std::uniform_real_distribution<real_t> d(lo, hi);
+    return d(engine_);
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rtl

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+
+#include "runtime/types.hpp"
+#include "sparse/csr.hpp"
+
+/// Finite-difference discretizations of the Appendix I test PDEs.
+///
+/// All operators discretize on a uniform grid over the unit square/cube
+/// with Dirichlet boundary conditions eliminated into the right-hand side;
+/// unknowns are interior points in natural (lexicographic) ordering — the
+/// ordering whose lower-triangular ILU factors produce the anti-diagonal
+/// wavefront structure of Figures 9-11.
+namespace rtl {
+
+/// A generated linear system A x = b.
+struct LinearSystem {
+  CsrMatrix a;
+  std::vector<real_t> rhs;
+};
+
+/// Problem 6 (5-PT): five-point central-difference discretization of
+///   -d/dx(e^{xy} u_x) - d/dy(e^{-xy} u_y)
+///     + 2(x+y)(u_x + u_y) + u/(1+x+y) = f
+/// on the unit square, `nx` x `ny` interior grid. The rhs is manufactured
+/// from the exact solution u = x e^{xy} sin(pi x) sin(pi y).
+[[nodiscard]] LinearSystem five_point(index_t nx, index_t ny);
+
+/// Problem 7 (9-PT): nine-point box-scheme discretization of
+///   -(u_xx + u_yy) + 2 u_x + 2 u_y = f
+/// on the unit square, same manufactured solution as 5-PT.
+[[nodiscard]] LinearSystem nine_point(index_t nx, index_t ny);
+
+/// Problem 8 (7-PT): seven-point central-difference discretization of
+///   -d/dx(e^{xy} u_x) - d/dy(e^{xy} u_y) - d/dz(e^{xy} u_z)
+///     + 80(x+y+z) u_x + (40 + 1/(1+x+y+z)) u = f
+/// on the unit cube, `nx` x `ny` x `nz` interior grid, manufactured
+/// solution u = (1-x)(1-y)(1-z)(1-e^{-x})(1-e^{-y})(1-e^{-z}).
+[[nodiscard]] LinearSystem seven_point(index_t nx, index_t ny, index_t nz);
+
+/// Block seven-point operator: 7-pt grid coupling on an nx x ny x nz grid
+/// with dense `block` x `block` blocks — the structure of the SPE
+/// reservoir matrices ("block seven point operator with 6x6 blocks",
+/// Appendix I). Off-diagonal blocks get pseudo-random entries; diagonal
+/// blocks are made strongly diagonally dominant so ILU stays stable.
+/// `seed` controls the pseudo-random values (structure is deterministic).
+[[nodiscard]] LinearSystem block_seven_point(index_t nx, index_t ny,
+                                             index_t nz, index_t block,
+                                             std::uint64_t seed = 7);
+
+}  // namespace rtl

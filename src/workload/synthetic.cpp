@@ -1,0 +1,94 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sparse/coo_builder.hpp"
+#include "workload/rng.hpp"
+
+namespace rtl {
+
+std::string SyntheticSpec::name() const {
+  std::ostringstream os;
+  os << mesh << "-" << lambda << "-" << mean_dist;
+  return os.str();
+}
+
+namespace {
+
+/// Mesh points at Manhattan distance exactly `d` from (px, py) whose
+/// natural-order index is smaller than `k` ("the set of indices that are i
+/// units away (using the Manhattan metric) from index k", §4.1).
+void candidates_at_distance(index_t m, index_t px, index_t py, index_t d,
+                            index_t k, std::vector<index_t>& out) {
+  out.clear();
+  for (index_t dx = -d; dx <= d; ++dx) {
+    const index_t x = px + dx;
+    if (x < 0 || x >= m) continue;
+    const index_t rem = d - std::abs(dx);
+    const int arms = rem == 0 ? 1 : 2;  // dy = 0 must not be counted twice
+    for (int s = 0; s < arms; ++s) {
+      const index_t dy = s == 0 ? rem : -rem;
+      const index_t y = py + dy;
+      if (y < 0 || y >= m) continue;
+      const index_t j = y * m + x;
+      if (j < k) out.push_back(j);
+    }
+  }
+}
+
+}  // namespace
+
+DependenceGraph synthetic_dependences(const SyntheticSpec& spec) {
+  const index_t m = spec.mesh;
+  const index_t n = m * m;
+  WorkloadRng rng(spec.seed);
+
+  std::vector<std::vector<index_t>> preds(static_cast<std::size_t>(n));
+  std::vector<index_t> cand;
+  for (index_t k = 0; k < n; ++k) {
+    const index_t px = k % m;
+    const index_t py = k / m;
+    const index_t links = rng.poisson(spec.lambda);
+    auto& mine = preds[static_cast<std::size_t>(k)];
+    for (index_t l = 0; l < links; ++l) {
+      const index_t d = rng.geometric_distance(spec.mean_dist);
+      candidates_at_distance(m, px, py, d, k, cand);
+      if (cand.empty()) continue;  // "(if any)" — no eligible point, skip
+      mine.push_back(cand[static_cast<std::size_t>(
+          rng.uniform(static_cast<index_t>(cand.size())))]);
+    }
+    std::sort(mine.begin(), mine.end());
+    mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+  }
+  return DependenceGraph::from_lists(preds);
+}
+
+LinearSystem synthetic_lower_system(const SyntheticSpec& spec) {
+  const DependenceGraph g = synthetic_dependences(spec);
+  const index_t n = g.size();
+  WorkloadRng rng(spec.seed ^ 0x9e3779b97f4a7c15ull);
+
+  CooBuilder coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    const auto deps = g.deps(i);
+    // Keep the row sum of |off-diagonal| entries below 1/2 so the implied
+    // unit-diagonal forward substitution stays well conditioned.
+    const real_t scale =
+        deps.empty() ? 0.0 : 0.5 / static_cast<real_t>(deps.size());
+    for (const index_t j : deps) {
+      coo.add(i, j, scale * rng.uniform_real(-1.0, 1.0));
+    }
+  }
+  CsrMatrix lower = coo.build();
+
+  std::vector<real_t> ones(static_cast<std::size_t>(n), 1.0);
+  std::vector<real_t> rhs(static_cast<std::size_t>(n));
+  lower.spmv(ones, rhs);
+  // rhs for unit-lower solve L y = b with y = 1: b = 1 + strict_lower * 1.
+  for (auto& v : rhs) v += 1.0;
+  return {std::move(lower), std::move(rhs)};
+}
+
+}  // namespace rtl

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+#include "graph/dependence_graph.hpp"
+#include "runtime/types.hpp"
+#include "workload/stencil.hpp"
+
+/// Parameterized synthetic workload generator (§4.1).
+///
+/// The input domain is an m x m mesh of points numbered in natural order;
+/// each point is one loop index. Two probability distributions shape the
+/// dependence structure:
+///  * the number of dependency links of an index is Poisson(lambda);
+///  * the Manhattan distance of each link is geometric with mean `mean_dist`
+///    (support 1, 2, ...), capturing the physical tendency of spatial
+///    regions to interact with close-by regions.
+/// For each link of index k at distance d, one mesh point exactly d away
+/// (Manhattan metric) with a *smaller* index is chosen uniformly, forging a
+/// dependence edge that keeps the graph a forward-only DAG. A matrix named
+/// "65-4-3" in the paper is a 65x65 mesh with lambda = 4 and mean
+/// distance 3.
+namespace rtl {
+
+/// Parameters of a synthetic dependence problem.
+struct SyntheticSpec {
+  /// Mesh side: the domain has m*m indices.
+  index_t mesh = 65;
+  /// Mean number of dependency links per index (Poisson parameter).
+  double lambda = 4.0;
+  /// Mean Manhattan distance of a link (geometric distribution, >= 1).
+  double mean_dist = 3.0;
+  /// RNG seed; same spec + seed => identical workload.
+  std::uint64_t seed = 42;
+
+  /// Paper-style name, e.g. "65-4-3".
+  [[nodiscard]] std::string name() const;
+};
+
+/// Generate the dependence DAG of the synthetic loop.
+[[nodiscard]] DependenceGraph synthetic_dependences(const SyntheticSpec& spec);
+
+/// Generate a unit-lower-triangular sparse system whose strict lower part
+/// has exactly the synthetic dependence structure, with values scaled so a
+/// forward substitution is well-conditioned. Used to run the executors on
+/// synthetic workloads (Table 5's 65-4-1.5 / 65-4-3 rows).
+[[nodiscard]] LinearSystem synthetic_lower_system(const SyntheticSpec& spec);
+
+}  // namespace rtl

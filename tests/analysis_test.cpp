@@ -1,0 +1,158 @@
+// Tests for the operation-count (symbolic efficiency) analysis of §5.1.2.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/schedule.hpp"
+#include "graph/wavefront.hpp"
+#include "model/performance_model.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/triangular.hpp"
+#include "workload/stencil.hpp"
+
+namespace rtl {
+namespace {
+
+/// Unit-work dependence fixture: an m x n 5-pt mesh lower factor, matching
+/// the §4.2 model problem when work weights are uniform.
+struct MeshFixture {
+  DependenceGraph g;
+  WavefrontInfo wf;
+
+  static MeshFixture make(index_t nx, index_t ny) {
+    const auto sys = five_point(nx, ny);
+    IluFactorization ilu(sys.a, 0);
+    MeshFixture f{lower_solve_dependences(ilu.lower()), {}};
+    f.wf = compute_wavefronts(f.g);
+    return f;
+  }
+};
+
+TEST(AnalysisTest, UniformChainIsFullySequential) {
+  const auto g = DependenceGraph::from_lists({{}, {0}, {1}, {2}});
+  const std::vector<double> work(4, 1.0);
+  const auto s = global_schedule(compute_wavefronts(g), 2);
+  const auto pre = estimate_prescheduled(s, work);
+  const auto self = estimate_self_executing(s, g, work);
+  EXPECT_DOUBLE_EQ(pre.parallel_work, 4.0);
+  EXPECT_DOUBLE_EQ(self.parallel_work, 4.0);
+  EXPECT_DOUBLE_EQ(pre.efficiency, 0.5);
+}
+
+TEST(AnalysisTest, IndependentWorkIsPerfectlyParallel) {
+  const auto g = DependenceGraph::from_lists({{}, {}, {}, {}});
+  const std::vector<double> work(4, 1.0);
+  const auto s = global_schedule(compute_wavefronts(g), 4);
+  const auto pre = estimate_prescheduled(s, work);
+  const auto self = estimate_self_executing(s, g, work);
+  EXPECT_DOUBLE_EQ(pre.parallel_work, 1.0);
+  EXPECT_DOUBLE_EQ(self.parallel_work, 1.0);
+  EXPECT_DOUBLE_EQ(pre.efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(self.efficiency, 1.0);
+}
+
+TEST(AnalysisTest, SelfExecutionNeverWorseThanPreScheduled) {
+  // The paper: "it is possible to show that the parallelism available from
+  // the self-executing version is always better than the pre-scheduled
+  // version." Same schedule, same work.
+  for (const index_t nx : {5, 9, 16}) {
+    const auto f = MeshFixture::make(nx, 11);
+    const auto work = row_substitution_work(f.g);
+    for (const int p : {2, 4, 8}) {
+      const auto s = global_schedule(f.wf, p);
+      const auto pre = estimate_prescheduled(s, work);
+      const auto self = estimate_self_executing(s, f.g, work);
+      EXPECT_LE(self.parallel_work, pre.parallel_work + 1e-9)
+          << "nx=" << nx << " p=" << p;
+    }
+  }
+}
+
+TEST(AnalysisTest, PreScheduledMatchesModelOnUniformMesh) {
+  // With unit weights, the operation-count estimate of the pre-scheduled
+  // mesh solve must reproduce the closed-form sum of MC(j) from §4.2.
+  const index_t m = 7, n = 11;
+  const int p = 3;
+  const auto f = MeshFixture::make(m, n);
+  std::vector<double> unit(static_cast<std::size_t>(f.g.size()), 1.0);
+  const auto s = global_schedule(f.wf, p);
+  const auto pre = estimate_prescheduled(s, unit);
+  EXPECT_DOUBLE_EQ(pre.parallel_work, prescheduled_parallel_work(m, n, p));
+  EXPECT_NEAR(pre.efficiency, prescheduled_eopt_exact(m, n, p), 1e-12);
+}
+
+TEST(AnalysisTest, SelfExecutingMatchesModelOnUniformMesh) {
+  // Equation 5: with unit weights the pipelined makespan is
+  // (mn + p(p-1)) / p.
+  const index_t m = 8, n = 16;
+  const int p = 4;
+  const auto f = MeshFixture::make(m, n);
+  std::vector<double> unit(static_cast<std::size_t>(f.g.size()), 1.0);
+  const auto s = global_schedule(f.wf, p);
+  const auto self = estimate_self_executing(s, f.g, unit);
+  const double mn = static_cast<double>(m) * n;
+  EXPECT_NEAR(self.parallel_work, (mn + p * (p - 1.0)) / p, 1e-9);
+  EXPECT_NEAR(self.efficiency, self_executing_eopt(m, n, p), 1e-12);
+}
+
+TEST(AnalysisTest, DoacrossNoWorseChecksOut) {
+  // Doacross over the original order can stall but must still finish with
+  // makespan between critical path and total work.
+  const auto f = MeshFixture::make(10, 10);
+  const auto work = row_substitution_work(f.g);
+  const auto d = estimate_doacross(f.g.size(), 4, f.g, work);
+  double total = 0.0;
+  for (const double w : work) total += w;
+  EXPECT_LE(d.parallel_work, total);
+  EXPECT_GT(d.parallel_work, total / 4.0 - 1e-9);
+}
+
+TEST(AnalysisTest, DoacrossWorseThanSelfExecutingOnMesh) {
+  // Reordering by wavefront must beat the original order (§5.1.2: "the
+  // doacross loop is consistently less efficient").
+  const auto f = MeshFixture::make(16, 16);
+  const auto work = row_substitution_work(f.g);
+  const int p = 8;
+  const auto s = global_schedule(f.wf, p);
+  const auto self = estimate_self_executing(s, f.g, work);
+  const auto doa = estimate_doacross(f.g.size(), p, f.g, work);
+  EXPECT_LE(self.parallel_work, doa.parallel_work + 1e-9);
+}
+
+TEST(AnalysisTest, RowSubstitutionWorkCountsDeps) {
+  const auto g = DependenceGraph::from_lists({{}, {0}, {0, 1}});
+  const auto w = row_substitution_work(g);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+  EXPECT_DOUBLE_EQ(w[2], 3.0);
+}
+
+TEST(AnalysisTest, DeadlockingScheduleDetected) {
+  // Two iterations, 1 depends on 0, but both on one processor in the wrong
+  // order and only one phase: the simulation must throw rather than hang.
+  const auto g = DependenceGraph::from_lists({{}, {0}});
+  Schedule s;
+  s.nproc = 1;
+  s.n = 2;
+  s.num_phases = 1;
+  s.order = {{1, 0}};
+  s.phase_ptr = {{0, 2}};
+  const std::vector<double> work(2, 1.0);
+  EXPECT_THROW(estimate_self_executing(s, g, work), std::invalid_argument);
+}
+
+TEST(AnalysisTest, LocalVsGlobalEfficiencyOrdering) {
+  // Global scheduling balances each wavefront; under pre-scheduling it must
+  // be at least as efficient as local scheduling with a striped partition.
+  const auto f = MeshFixture::make(13, 13);
+  const auto work = row_substitution_work(f.g);
+  const int p = 5;
+  const auto sg = global_schedule(f.wf, p);
+  const auto sl = local_schedule(f.wf, wrapped_partition(f.g.size(), p));
+  const auto eg = estimate_prescheduled(sg, work);
+  const auto el = estimate_prescheduled(sl, work);
+  EXPECT_GE(eg.efficiency, el.efficiency - 1e-9);
+}
+
+}  // namespace
+}  // namespace rtl

@@ -1,0 +1,452 @@
+// Tests for the pre-scheduled, self-executing, doacross and rotating
+// executors, and the doconsider facade.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "core/doconsider.hpp"
+#include "core/executors.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/triangular.hpp"
+#include "workload/stencil.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtl {
+namespace {
+
+/// The paper's Figure 3 recurrence: x(i) = x(i) + b(i) * x(ia(i)), with
+/// ia(i) < i so each iteration depends on one earlier iteration.
+struct SimpleLoop {
+  std::vector<index_t> ia;
+  std::vector<real_t> b;
+  std::vector<real_t> x0;
+
+  static SimpleLoop make(index_t n, std::uint64_t seed) {
+    SimpleLoop loop;
+    loop.ia.resize(static_cast<std::size_t>(n));
+    loop.b.resize(static_cast<std::size_t>(n));
+    loop.x0.resize(static_cast<std::size_t>(n));
+    std::uint64_t s = seed;
+    const auto next = [&s] {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      return s >> 33;
+    };
+    for (index_t i = 0; i < n; ++i) {
+      loop.ia[static_cast<std::size_t>(i)] =
+          i == 0 ? 0 : static_cast<index_t>(next() % i);
+      loop.b[static_cast<std::size_t>(i)] =
+          0.001 * static_cast<real_t>(next() % 1000);
+      loop.x0[static_cast<std::size_t>(i)] =
+          0.001 * static_cast<real_t>(next() % 1000);
+    }
+    return loop;
+  }
+
+  [[nodiscard]] DependenceGraph dependences() const {
+    std::vector<std::vector<index_t>> preds(ia.size());
+    for (index_t i = 1; i < static_cast<index_t>(ia.size()); ++i) {
+      preds[static_cast<std::size_t>(i)].push_back(
+          ia[static_cast<std::size_t>(i)]);
+    }
+    return DependenceGraph::from_lists(preds);
+  }
+
+  [[nodiscard]] std::vector<real_t> sequential_result() const {
+    std::vector<real_t> x = x0;
+    for (std::size_t i = 1; i < x.size(); ++i) {
+      x[i] += b[i] * x[static_cast<std::size_t>(ia[i])];
+    }
+    return x;
+  }
+};
+
+class ExecutorsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorsTest, PreScheduledGlobalMatchesSequential) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(501, 11);
+  const auto g = loop.dependences();
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, team.size());
+  std::vector<real_t> x = loop.x0;
+  execute_prescheduled(team, s, [&](index_t i) {
+    if (i > 0) {
+      x[static_cast<std::size_t>(i)] +=
+          loop.b[static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
+    }
+  });
+  EXPECT_EQ(x, loop.sequential_result());
+}
+
+TEST_P(ExecutorsTest, SelfExecutingGlobalMatchesSequential) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(501, 12);
+  const auto g = loop.dependences();
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, team.size());
+  ReadyFlags ready(g.size());
+  std::vector<real_t> x = loop.x0;
+  execute_self(team, s, g, ready, [&](index_t i) {
+    if (i > 0) {
+      x[static_cast<std::size_t>(i)] +=
+          loop.b[static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
+    }
+  });
+  EXPECT_EQ(x, loop.sequential_result());
+}
+
+TEST_P(ExecutorsTest, SelfExecutingLocalMatchesSequential) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(733, 13);
+  const auto g = loop.dependences();
+  const auto wf = compute_wavefronts(g);
+  const auto s =
+      local_schedule(wf, wrapped_partition(g.size(), team.size()));
+  ReadyFlags ready(g.size());
+  std::vector<real_t> x = loop.x0;
+  execute_self(team, s, g, ready, [&](index_t i) {
+    if (i > 0) {
+      x[static_cast<std::size_t>(i)] +=
+          loop.b[static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
+    }
+  });
+  EXPECT_EQ(x, loop.sequential_result());
+}
+
+TEST_P(ExecutorsTest, DoacrossMatchesSequential) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(404, 14);
+  const auto g = loop.dependences();
+  ReadyFlags ready(g.size());
+  std::vector<real_t> x = loop.x0;
+  execute_doacross(team, g.size(), g, ready, [&](index_t i) {
+    if (i > 0) {
+      x[static_cast<std::size_t>(i)] +=
+          loop.b[static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
+    }
+  });
+  EXPECT_EQ(x, loop.sequential_result());
+}
+
+TEST_P(ExecutorsTest, EveryIterationRunsExactlyOnce) {
+  ThreadTeam team(GetParam());
+  const index_t n = 997;
+  auto loop = SimpleLoop::make(n, 15);
+  const auto g = loop.dependences();
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, team.size());
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  for (auto& h : hits) h.store(0);
+  ReadyFlags ready(n);
+  execute_self(team, s, g, ready, [&](index_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ExecutorsTest, DependencesObservedUnderSelfExecution) {
+  // Record a completion stamp per iteration; every dependence must have a
+  // smaller stamp.
+  ThreadTeam team(GetParam());
+  const auto spec = SyntheticSpec{.mesh = 20, .lambda = 3.0,
+                                  .mean_dist = 2.0, .seed = 5};
+  const auto g = synthetic_dependences(spec);
+  const auto wf = compute_wavefronts(g);
+  const auto s = local_schedule(wf, wrapped_partition(g.size(), team.size()));
+  std::atomic<long> clock{0};
+  std::vector<long> stamp(static_cast<std::size_t>(g.size()), -1);
+  ReadyFlags ready(g.size());
+  execute_self(team, s, g, ready, [&](index_t i) {
+    stamp[static_cast<std::size_t>(i)] = clock.fetch_add(1);
+  });
+  for (index_t i = 0; i < g.size(); ++i) {
+    for (const index_t d : g.deps(i)) {
+      EXPECT_LT(stamp[static_cast<std::size_t>(d)],
+                stamp[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST_P(ExecutorsTest, DependencesObservedUnderPreScheduling) {
+  ThreadTeam team(GetParam());
+  const auto spec = SyntheticSpec{.mesh = 20, .lambda = 3.0,
+                                  .mean_dist = 2.0, .seed = 6};
+  const auto g = synthetic_dependences(spec);
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, team.size());
+  std::atomic<long> clock{0};
+  std::vector<long> stamp(static_cast<std::size_t>(g.size()), -1);
+  execute_prescheduled(team, s, [&](index_t i) {
+    stamp[static_cast<std::size_t>(i)] = clock.fetch_add(1);
+  });
+  for (index_t i = 0; i < g.size(); ++i) {
+    for (const index_t d : g.deps(i)) {
+      EXPECT_LT(stamp[static_cast<std::size_t>(d)],
+                stamp[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST_P(ExecutorsTest, RotatingSelfExecutesEveryIndexPTimes) {
+  ThreadTeam team(GetParam());
+  const index_t n = 301;
+  auto loop = SimpleLoop::make(n, 17);
+  const auto g = loop.dependences();
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, team.size());
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  for (auto& h : hits) h.store(0);
+  ReadyFlags ready(n);
+  execute_rotating_self(team, s, g, ready, [&](index_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), team.size());
+}
+
+TEST_P(ExecutorsTest, RotatingPreScheduledExecutesEveryIndexPTimes) {
+  ThreadTeam team(GetParam());
+  const index_t n = 301;
+  auto loop = SimpleLoop::make(n, 18);
+  const auto g = loop.dependences();
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, team.size());
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  for (auto& h : hits) h.store(0);
+  execute_rotating_prescheduled(team, s, [&](index_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), team.size());
+}
+
+TEST_P(ExecutorsTest, BodyReceivesTidWhenRequested) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(100, 19);
+  const auto g = loop.dependences();
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, team.size());
+  std::vector<int> owner(100, -1);
+  execute_prescheduled(team, s, [&](int tid, index_t i) {
+    owner[static_cast<std::size_t>(i)] = tid;
+  });
+  // Every index must have been run by the processor that owns it in the
+  // schedule.
+  for (int p = 0; p < s.nproc; ++p) {
+    for (const index_t i : s.order[static_cast<std::size_t>(p)]) {
+      EXPECT_EQ(owner[static_cast<std::size_t>(i)], p);
+    }
+  }
+}
+
+TEST_P(ExecutorsTest, DoconsiderFacadeAllPolicies) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(256, 20);
+  const auto expected = loop.sequential_result();
+  for (const auto sched :
+       {SchedulingPolicy::kGlobal, SchedulingPolicy::kLocalWrapped,
+        SchedulingPolicy::kLocalBlock}) {
+    for (const auto exec :
+         {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting,
+          ExecutionPolicy::kDoAcross}) {
+      std::vector<real_t> x = loop.x0;
+      DoconsiderOptions opts;
+      opts.scheduling = sched;
+      opts.execution = exec;
+      doconsider(
+          team, loop.dependences(),
+          [&](index_t i) {
+            if (i > 0) {
+              x[static_cast<std::size_t>(i)] +=
+                  loop.b[static_cast<std::size_t>(i)] *
+                  x[static_cast<std::size_t>(
+                      loop.ia[static_cast<std::size_t>(i)])];
+            }
+          },
+          opts);
+      EXPECT_EQ(x, expected) << "sched=" << static_cast<int>(sched)
+                             << " exec=" << static_cast<int>(exec);
+    }
+  }
+}
+
+TEST_P(ExecutorsTest, PlanIsReusableAcrossExecutions) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(300, 21);
+  DoconsiderOptions opts;
+  opts.execution = ExecutionPolicy::kSelfExecuting;
+  DoconsiderPlan plan(team, loop.dependences(), opts);
+  const auto expected = loop.sequential_result();
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<real_t> x = loop.x0;
+    plan.execute(team, [&](index_t i) {
+      if (i > 0) {
+        x[static_cast<std::size_t>(i)] +=
+            loop.b[static_cast<std::size_t>(i)] *
+            x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
+      }
+    });
+    EXPECT_EQ(x, expected) << "repetition " << rep;
+  }
+}
+
+TEST_P(ExecutorsTest, ParallelInspectorProducesSamePlan) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(512, 22);
+  DoconsiderOptions seq_opts;
+  DoconsiderOptions par_opts;
+  par_opts.parallel_inspector = true;
+  DoconsiderPlan a(team, loop.dependences(), seq_opts);
+  DoconsiderPlan b(team, loop.dependences(), par_opts);
+  EXPECT_EQ(a.wavefronts().wave, b.wavefronts().wave);
+  EXPECT_EQ(a.schedule().order, b.schedule().order);
+}
+
+TEST_P(ExecutorsTest, SelfScheduledMatchesSequential) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(611, 31);
+  const auto g = loop.dependences();
+  const auto wf = compute_wavefronts(g);
+  const auto order = wavefront_sorted_list(wf);
+  ReadyFlags ready(g.size());
+  std::vector<real_t> x = loop.x0;
+  execute_self_scheduled(team, order, g, ready, [&](index_t i) {
+    if (i > 0) {
+      x[static_cast<std::size_t>(i)] +=
+          loop.b[static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
+    }
+  });
+  EXPECT_EQ(x, loop.sequential_result());
+}
+
+TEST_P(ExecutorsTest, SelfScheduledRunsEveryIterationOnce) {
+  ThreadTeam team(GetParam());
+  const auto g = SimpleLoop::make(500, 32).dependences();
+  const auto order = wavefront_sorted_list(compute_wavefronts(g));
+  ReadyFlags ready(g.size());
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(g.size()));
+  for (auto& h : hits) h.store(0);
+  execute_self_scheduled(team, order, g, ready, [&](index_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ExecutorsTest, SelfScheduledRespectsDependences) {
+  ThreadTeam team(GetParam());
+  const auto spec = SyntheticSpec{.mesh = 18, .lambda = 3.0,
+                                  .mean_dist = 2.0, .seed = 33};
+  const auto g = synthetic_dependences(spec);
+  const auto order = wavefront_sorted_list(compute_wavefronts(g));
+  ReadyFlags ready(g.size());
+  std::atomic<long> clock{0};
+  std::vector<long> stamp(static_cast<std::size_t>(g.size()), -1);
+  execute_self_scheduled(team, order, g, ready, [&](index_t i) {
+    stamp[static_cast<std::size_t>(i)] = clock.fetch_add(1);
+  });
+  for (index_t i = 0; i < g.size(); ++i) {
+    for (const index_t d : g.deps(i)) {
+      EXPECT_LT(stamp[static_cast<std::size_t>(d)],
+                stamp[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+class WindowedExecutorTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WindowedExecutorTest, MatchesSequentialAtEveryWindow) {
+  const auto [nthreads, window] = GetParam();
+  ThreadTeam team(nthreads);
+  auto loop = SimpleLoop::make(457, 41);
+  const auto g = loop.dependences();
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, team.size());
+  ReadyFlags ready(g.size());
+  std::vector<real_t> x = loop.x0;
+  execute_windowed(team, s, g, ready, static_cast<index_t>(window),
+                   [&](index_t i) {
+                     if (i > 0) {
+                       x[static_cast<std::size_t>(i)] +=
+                           loop.b[static_cast<std::size_t>(i)] *
+                           x[static_cast<std::size_t>(
+                               loop.ia[static_cast<std::size_t>(i)])];
+                     }
+                   });
+  EXPECT_EQ(x, loop.sequential_result());
+}
+
+TEST_P(WindowedExecutorTest, RespectsDependences) {
+  const auto [nthreads, window] = GetParam();
+  ThreadTeam team(nthreads);
+  const auto spec = SyntheticSpec{.mesh = 16, .lambda = 3.0,
+                                  .mean_dist = 2.0, .seed = 44};
+  const auto g = synthetic_dependences(spec);
+  const auto wf = compute_wavefronts(g);
+  const auto s = local_schedule(wf, wrapped_partition(g.size(), nthreads));
+  ReadyFlags ready(g.size());
+  std::atomic<long> clock{0};
+  std::vector<long> stamp(static_cast<std::size_t>(g.size()), -1);
+  execute_windowed(team, s, g, ready, static_cast<index_t>(window),
+                   [&](index_t i) {
+                     stamp[static_cast<std::size_t>(i)] = clock.fetch_add(1);
+                   });
+  for (index_t i = 0; i < g.size(); ++i) {
+    for (const index_t d : g.deps(i)) {
+      ASSERT_LT(stamp[static_cast<std::size_t>(d)],
+                stamp[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowSweep, WindowedExecutorTest,
+    ::testing::Combine(::testing::Values(1, 4, 16),
+                       ::testing::Values(1, 2, 7, 1000)));
+
+TEST(ExecutorsEdge, EmptyLoopIsANoop) {
+  ThreadTeam team(4);
+  DependenceGraph g;
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, team.size());
+  int count = 0;
+  execute_prescheduled(team, s, [&](index_t) { ++count; });
+  ReadyFlags ready(0);
+  execute_self(team, s, g, ready, [&](index_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ExecutorsEdge, MoreProcessorsThanIterations) {
+  ThreadTeam team(8);
+  auto loop = SimpleLoop::make(5, 23);
+  const auto g = loop.dependences();
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, team.size());
+  ReadyFlags ready(5);
+  std::vector<real_t> x = loop.x0;
+  execute_self(team, s, g, ready, [&](index_t i) {
+    if (i > 0) {
+      x[static_cast<std::size_t>(i)] +=
+          loop.b[static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
+    }
+  });
+  EXPECT_EQ(x, loop.sequential_result());
+}
+
+TEST(ExecutorsEdge, MeasureBarrierMsIsPositive) {
+  ThreadTeam team(4);
+  EXPECT_GT(measure_barrier_ms(team, 100), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Teams, ExecutorsTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace rtl

@@ -1,0 +1,196 @@
+// Tests for the dependence graph and wavefront (topological sort) module.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/dependence_graph.hpp"
+#include "graph/wavefront.hpp"
+#include "runtime/thread_team.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/triangular.hpp"
+#include "workload/problems.hpp"
+
+namespace rtl {
+namespace {
+
+DependenceGraph chain(index_t n) {
+  std::vector<std::vector<index_t>> preds(static_cast<std::size_t>(n));
+  for (index_t i = 1; i < n; ++i) {
+    preds[static_cast<std::size_t>(i)].push_back(i - 1);
+  }
+  return DependenceGraph::from_lists(preds);
+}
+
+TEST(DependenceGraphTest, EmptyGraph) {
+  DependenceGraph g;
+  EXPECT_EQ(g.size(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(DependenceGraphTest, FromListsRoundTrips) {
+  const auto g = DependenceGraph::from_lists({{}, {0}, {0, 1}, {1}});
+  EXPECT_EQ(g.size(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.deps(0).empty());
+  ASSERT_EQ(g.deps(2).size(), 2u);
+  EXPECT_EQ(g.deps(2)[0], 0);
+  EXPECT_EQ(g.deps(2)[1], 1);
+}
+
+TEST(DependenceGraphTest, ForwardOnlyDetection) {
+  EXPECT_TRUE(DependenceGraph::from_lists({{}, {0}, {1}}).is_forward_only());
+  EXPECT_FALSE(DependenceGraph::from_lists({{1}, {}, {}}).is_forward_only());
+  EXPECT_FALSE(DependenceGraph::from_lists({{0}}).is_forward_only());
+}
+
+TEST(DependenceGraphTest, RejectsBadPtr) {
+  EXPECT_THROW(DependenceGraph(2, {0, 1}, {0}), std::invalid_argument);
+  EXPECT_THROW(DependenceGraph(2, {0, 2, 1}, {0}), std::invalid_argument);
+  EXPECT_THROW(DependenceGraph(1, {0, 1}, {5}), std::invalid_argument);
+}
+
+TEST(DependenceGraphTest, ReversedSwapsDirection) {
+  const auto g = DependenceGraph::from_lists({{}, {0}, {0, 1}});
+  const auto r = g.reversed();
+  ASSERT_EQ(r.size(), 3);
+  // Vertex 0 is a dependence of 1 and 2.
+  ASSERT_EQ(r.deps(0).size(), 2u);
+  EXPECT_EQ(r.deps(0)[0], 1);
+  EXPECT_EQ(r.deps(0)[1], 2);
+  EXPECT_TRUE(r.deps(2).empty());
+}
+
+TEST(DependenceGraphTest, ReversedTwiceIsIdentity) {
+  const auto g = DependenceGraph::from_lists({{}, {0}, {0, 1}, {2}, {1, 3}});
+  const auto rr = g.reversed().reversed();
+  ASSERT_EQ(rr.size(), g.size());
+  for (index_t i = 0; i < g.size(); ++i) {
+    std::vector<index_t> a(g.deps(i).begin(), g.deps(i).end());
+    std::vector<index_t> b(rr.deps(i).begin(), rr.deps(i).end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "row " << i;
+  }
+}
+
+TEST(WavefrontTest, IndependentIterationsAreOneWave) {
+  const auto g = DependenceGraph::from_lists({{}, {}, {}, {}});
+  const auto wf = compute_wavefronts(g);
+  EXPECT_EQ(wf.num_waves, 1);
+  for (const index_t w : wf.wave) EXPECT_EQ(w, 0);
+}
+
+TEST(WavefrontTest, ChainIsFullySequential) {
+  const auto g = chain(10);
+  const auto wf = compute_wavefronts(g);
+  EXPECT_EQ(wf.num_waves, 10);
+  for (index_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(wf.wave[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(WavefrontTest, WaveIsOnePlusMaxOfDeps) {
+  const auto g = DependenceGraph::from_lists({{}, {}, {0}, {0, 1}, {2, 3}});
+  const auto wf = compute_wavefronts(g);
+  EXPECT_EQ(wf.wave[0], 0);
+  EXPECT_EQ(wf.wave[1], 0);
+  EXPECT_EQ(wf.wave[2], 1);
+  EXPECT_EQ(wf.wave[3], 1);
+  EXPECT_EQ(wf.wave[4], 2);
+  EXPECT_EQ(wf.num_waves, 3);
+}
+
+TEST(WavefrontTest, WaveSizesSumToN) {
+  const auto g = chain(5);
+  const auto wf = compute_wavefronts(g);
+  const auto sizes = wf.wave_sizes();
+  index_t total = 0;
+  for (const index_t s : sizes) total += s;
+  EXPECT_EQ(total, 5);
+  EXPECT_EQ(wf.max_wave_size(), 1);
+}
+
+TEST(WavefrontTest, EmptyGraphHasZeroWaves) {
+  const auto wf = compute_wavefronts(DependenceGraph{});
+  EXPECT_EQ(wf.num_waves, 0);
+  EXPECT_TRUE(wf.wave.empty());
+  EXPECT_EQ(wf.max_wave_size(), 0);
+}
+
+TEST(WavefrontTest, GeneralMatchesSweepOnForwardGraphs) {
+  const auto g = DependenceGraph::from_lists(
+      {{}, {0}, {0}, {1, 2}, {}, {3, 4}, {4}, {5, 6}});
+  const auto a = compute_wavefronts(g);
+  const auto b = compute_wavefronts_general(g);
+  EXPECT_EQ(a.num_waves, b.num_waves);
+  EXPECT_EQ(a.wave, b.wave);
+}
+
+TEST(WavefrontTest, GeneralHandlesNonForwardDag) {
+  // Edges point at larger indices: 2 -> depends on 3.
+  const auto g = DependenceGraph::from_lists({{}, {0}, {3}, {0}});
+  const auto wf = compute_wavefronts_general(g);
+  EXPECT_EQ(wf.wave[0], 0);
+  EXPECT_EQ(wf.wave[1], 1);
+  EXPECT_EQ(wf.wave[3], 1);
+  EXPECT_EQ(wf.wave[2], 2);
+}
+
+TEST(WavefrontTest, GeneralDetectsCycle) {
+  const auto g = DependenceGraph::from_lists({{1}, {0}});
+  EXPECT_THROW(compute_wavefronts_general(g), std::invalid_argument);
+}
+
+TEST(WavefrontTest, ParallelMatchesSequential) {
+  ThreadTeam team(8);
+  const auto problem = make_5pt();
+  const auto lower =
+      IluFactorization(problem.system.a, 0).lower();
+  const auto g = lower_solve_dependences(lower);
+  const auto seq = compute_wavefronts(g);
+  const auto par = compute_wavefronts_parallel(g, team);
+  EXPECT_EQ(seq.num_waves, par.num_waves);
+  EXPECT_EQ(seq.wave, par.wave);
+}
+
+TEST(WavefrontTest, ParallelMatchesSequentialOnChain) {
+  // Worst case for the striped busy-wait sweep: a pure chain.
+  ThreadTeam team(4);
+  const auto g = chain(2000);
+  const auto seq = compute_wavefronts(g);
+  const auto par = compute_wavefronts_parallel(g, team);
+  EXPECT_EQ(seq.wave, par.wave);
+}
+
+TEST(WavefrontTest, FivePointMeshHasAntidiagonalWaves) {
+  // For the natural-ordered 5-pt mesh lower factor, wavefront(i,j) = i+j
+  // (Figure 9's anti-diagonal strips).
+  const index_t nx = 5, ny = 7;
+  const auto sys = five_point(nx, ny);
+  const auto ilu = IluFactorization(sys.a, 0);
+  const auto g = lower_solve_dependences(ilu.lower());
+  const auto wf = compute_wavefronts(g);
+  EXPECT_EQ(wf.num_waves, nx + ny - 1);
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      EXPECT_EQ(wf.wave[static_cast<std::size_t>(j * nx + i)], i + j);
+    }
+  }
+}
+
+TEST(WavefrontTest, DepsAlwaysInEarlierWave) {
+  const auto spe = make_spe5();
+  const auto ilu = IluFactorization(spe.system.a, 0);
+  const auto g = lower_solve_dependences(ilu.lower());
+  const auto wf = compute_wavefronts(g);
+  for (index_t i = 0; i < g.size(); ++i) {
+    for (const index_t d : g.deps(i)) {
+      EXPECT_LT(wf.wave[static_cast<std::size_t>(d)],
+                wf.wave[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtl

@@ -1,0 +1,108 @@
+// Tests for Matrix Market I/O.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/matrix_market.hpp"
+#include "workload/stencil.hpp"
+
+namespace rtl {
+namespace {
+
+TEST(MatrixMarketTest, ParsesGeneralCoordinate) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 2 3.5\n"
+      "3 1 -1.0\n"
+      "3 3 4.0\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 3.5);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 4.0);
+}
+
+TEST(MatrixMarketTest, ExpandsSymmetricInput) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "1 1 5.0\n"
+      "2 1 1.5\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.nnz(), 3);  // diagonal once, off-diagonal mirrored
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.5);
+}
+
+TEST(MatrixMarketTest, CaseInsensitiveHeader) {
+  std::istringstream in(
+      "%%matrixmarket MATRIX Coordinate REAL General\n"
+      "1 1 1\n"
+      "1 1 7.0\n");
+  EXPECT_DOUBLE_EQ(read_matrix_market(in).at(0, 0), 7.0);
+}
+
+TEST(MatrixMarketTest, RejectsBadBanner) {
+  std::istringstream in("%%NotMatrixMarket matrix coordinate real general\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketTest, RejectsUnsupportedFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n1 1\n1\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketTest, RejectsOutOfBoundsEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketTest, RejectsTruncatedInput) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketTest, RoundTripsAStencilMatrix) {
+  const auto sys = five_point(7, 5);
+  std::ostringstream out;
+  write_matrix_market(out, sys.a);
+  std::istringstream in(out.str());
+  const auto b = read_matrix_market(in);
+  ASSERT_EQ(b.rows(), sys.a.rows());
+  ASSERT_EQ(b.nnz(), sys.a.nnz());
+  for (index_t i = 0; i < sys.a.rows(); ++i) {
+    for (index_t j = 0; j < sys.a.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(b.at(i, j), sys.a.at(i, j));
+    }
+  }
+}
+
+TEST(MatrixMarketTest, FileRoundTrip) {
+  const auto sys = five_point(4, 4);
+  const std::string path = ::testing::TempDir() + "/rtl_mm_test.mtx";
+  write_matrix_market_file(path, sys.a);
+  const auto b = read_matrix_market_file(path);
+  EXPECT_EQ(b.nnz(), sys.a.nnz());
+  EXPECT_DOUBLE_EQ(b.at(0, 0), sys.a.at(0, 0));
+}
+
+TEST(MatrixMarketTest, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/x.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rtl

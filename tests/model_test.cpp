@@ -1,0 +1,170 @@
+// Tests for the §4.2 analytic performance model.
+
+#include <gtest/gtest.h>
+
+#include "model/performance_model.hpp"
+
+namespace rtl {
+namespace {
+
+TEST(ModelTest, PhaseStripsTriangleProfile) {
+  // 5 x 7 domain (Figure 9): strips ramp 1..5, plateau at 5, ramp down.
+  const index_t m = 5, n = 7;
+  EXPECT_EQ(phase_strips(m, n, 1), 1);
+  EXPECT_EQ(phase_strips(m, n, 2), 2);
+  EXPECT_EQ(phase_strips(m, n, 5), 5);
+  EXPECT_EQ(phase_strips(m, n, 6), 5);
+  EXPECT_EQ(phase_strips(m, n, 7), 5);
+  EXPECT_EQ(phase_strips(m, n, 8), 4);
+  EXPECT_EQ(phase_strips(m, n, 11), 1);
+  EXPECT_THROW((void)phase_strips(m, n, 0), std::invalid_argument);
+  EXPECT_THROW((void)phase_strips(m, n, 12), std::invalid_argument);
+}
+
+TEST(ModelTest, PhaseStripsSumToDomainSize) {
+  for (const auto& [m, n] : {std::pair<index_t, index_t>{5, 7},
+                            {8, 8},
+                            {1, 10},
+                            {16, 3}}) {
+    index_t total = 0;
+    for (index_t j = 1; j <= n + m - 1; ++j) total += phase_strips(m, n, j);
+    EXPECT_EQ(total, m * n) << m << "x" << n;
+  }
+}
+
+TEST(ModelTest, McIsCeilOfStripsOverP) {
+  EXPECT_EQ(mc(5, 7, 2, 5), 3);  // ceil(5/2)
+  EXPECT_EQ(mc(5, 7, 5, 5), 1);
+  EXPECT_EQ(mc(5, 7, 2, 1), 1);
+}
+
+TEST(ModelTest, SingleProcessorIsPerfectlyEfficient) {
+  EXPECT_DOUBLE_EQ(prescheduled_eopt_exact(6, 9, 1), 1.0);
+  EXPECT_DOUBLE_EQ(self_executing_eopt(6, 9, 1), 1.0);
+}
+
+TEST(ModelTest, SelfExecutingBeatsPreScheduledOnLoadBalance) {
+  for (const int p : {2, 3, 4, 8}) {
+    for (const index_t m : {9, 12, 17}) {
+      const index_t n = 3 * m;
+      if (p > std::min(m, n)) continue;
+      EXPECT_GE(self_executing_eopt(m, n, p) + 1e-12,
+                prescheduled_eopt_exact(m, n, p))
+          << "m=" << m << " p=" << p;
+    }
+  }
+}
+
+TEST(ModelTest, ApproximationTracksExact) {
+  // Equation 4 approximates equations 2-3; require agreement within 10%
+  // over a range of shapes.
+  for (const int p : {2, 4, 8}) {
+    for (const index_t m : {16, 24, 32}) {
+      for (const index_t n : {16, 48}) {
+        if (p > std::min(m, n)) continue;
+        const double exact = prescheduled_eopt_exact(m, n, p);
+        const double approx = prescheduled_eopt_approx(m, n, p);
+        EXPECT_NEAR(approx, exact, 0.1 * exact)
+            << "m=" << m << " n=" << n << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(ModelTest, EfficienciesAreInUnitInterval) {
+  for (const int p : {1, 2, 5}) {
+    for (const index_t m : {5, 10}) {
+      const double e1 = prescheduled_eopt_exact(m, 2 * m, p);
+      const double e2 = self_executing_eopt(m, 2 * m, p);
+      EXPECT_GT(e1, 0.0);
+      EXPECT_LE(e1, 1.0);
+      EXPECT_GT(e2, 0.0);
+      EXPECT_LE(e2, 1.0);
+    }
+  }
+}
+
+TEST(ModelTest, SelfExecutingEoptApproachesOneForLargeDomains) {
+  EXPECT_GT(self_executing_eopt(100, 100, 8), 0.99);
+}
+
+TEST(ModelTest, NarrowDomainLimitMatchesEquation6) {
+  // m = p+1, n large: ratio approaches the closed-form limit within a few
+  // percent.
+  const int p = 8;
+  const ModelRatios r{.r_synch = 10.0, .r_inc = 0.2, .r_check = 0.1};
+  const double limit = time_ratio_limit_narrow(p, r);
+  // Exact ratio with the Tsynch cost counted per phase; the printed
+  // equation 6 absorbs the p-scaling of R_synch, so compare against the
+  // exact ratio with per-point-normalized synchronization cost.
+  const double exact =
+      time_ratio(static_cast<index_t>(p) + 1, 20000, p,
+                 ModelRatios{.r_synch = 10.0 / p, .r_inc = 0.2,
+                             .r_check = 0.1});
+  EXPECT_NEAR(exact, limit, 0.05 * limit);
+}
+
+TEST(ModelTest, SquareDomainLimitMatchesEquation7) {
+  // The synchronization term decays as (n+m-1)/mn, so the domain must be
+  // large before the eq. 7 limit is approached.
+  const ModelRatios r{.r_synch = 30.0, .r_inc = 0.25, .r_check = 0.15};
+  const double limit = time_ratio_limit_square(r);
+  const double exact = time_ratio(20000, 20000, 8, r);
+  EXPECT_NEAR(exact, limit, 0.05 * limit);
+  // Equation 7's message: for square domains pre-scheduling is preferable
+  // (ratio < 1) once shared-array traffic has any cost.
+  EXPECT_LT(limit, 1.0);
+}
+
+TEST(ModelTest, NarrowDomainsFavorSelfExecution) {
+  // Many phases with little work each: self-execution wins (ratio > 1).
+  const int p = 8;
+  const ModelRatios r{.r_synch = 20.0, .r_inc = 0.1, .r_check = 0.05};
+  EXPECT_GT(time_ratio(static_cast<index_t>(p) + 1, 5000, p, r), 1.0);
+}
+
+TEST(ModelTest, CheapSynchronizationShrinksTheGap) {
+  // On machines with fast global synchronization the two executors
+  // converge ("only a small difference" for m = n).
+  const ModelRatios cheap{.r_synch = 0.0, .r_inc = 0.0, .r_check = 0.0};
+  EXPECT_NEAR(time_ratio(500, 500, 4, cheap), 1.0, 0.05);
+}
+
+TEST(ModelTest, DenseTriangularExtremes) {
+  // §4.2's dense example: self-executing E ~ 1/2, pre-scheduled E ~ 1/n.
+  EXPECT_NEAR(dense_self_executing_eopt(100), 100.0 / 198.0, 1e-12);
+  EXPECT_NEAR(dense_prescheduled_eopt(100), 1.0 / 99.0, 1e-12);
+  EXPECT_GT(dense_self_executing_eopt(1000), 0.5);
+  EXPECT_LT(dense_prescheduled_eopt(1000), 0.01);
+  EXPECT_THROW((void)dense_self_executing_eopt(1), std::invalid_argument);
+}
+
+TEST(ModelTest, ArgumentValidation) {
+  EXPECT_THROW((void)prescheduled_eopt_exact(0, 5, 1), std::invalid_argument);
+  EXPECT_THROW((void)prescheduled_eopt_exact(5, 5, 6), std::invalid_argument);
+  EXPECT_THROW((void)self_executing_eopt(5, 5, 0), std::invalid_argument);
+  EXPECT_THROW((void)time_ratio_limit_narrow(0, {}), std::invalid_argument);
+}
+
+TEST(ModelTest, PreScheduledTimeIncludesSynchronization) {
+  const index_t m = 10, n = 10;
+  const int p = 2;
+  const ModelRatios none{};
+  const ModelRatios some{.r_synch = 5.0};
+  EXPECT_DOUBLE_EQ(prescheduled_time(m, n, p, some) -
+                       prescheduled_time(m, n, p, none),
+                   5.0 * (n + m - 1));
+}
+
+TEST(ModelTest, SelfExecutingTimeScalesWithArrayCosts) {
+  const index_t m = 10, n = 10;
+  const int p = 2;
+  const ModelRatios none{};
+  const ModelRatios some{.r_inc = 0.5, .r_check = 0.25};
+  EXPECT_NEAR(self_executing_time(m, n, p, some) /
+                  self_executing_time(m, n, p, none),
+              1.0 + 0.5 + 2 * 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace rtl

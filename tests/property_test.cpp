@@ -1,0 +1,250 @@
+// Property-based tests: invariants that must hold for randomly generated
+// dependence structures, schedules and executions, swept over parameter
+// grids with TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <random>
+
+#include "core/analysis.hpp"
+#include "core/doconsider.hpp"
+#include "graph/wavefront.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtl {
+namespace {
+
+/// Random forward-only DAG: each iteration depends on up to `max_deg`
+/// uniformly chosen earlier iterations.
+DependenceGraph random_dag(index_t n, int max_deg, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::vector<index_t>> preds(static_cast<std::size_t>(n));
+  for (index_t i = 1; i < n; ++i) {
+    std::uniform_int_distribution<int> deg_dist(0, max_deg);
+    const int deg = deg_dist(rng);
+    auto& mine = preds[static_cast<std::size_t>(i)];
+    std::uniform_int_distribution<index_t> pick(0, i - 1);
+    for (int d = 0; d < deg; ++d) mine.push_back(pick(rng));
+    std::sort(mine.begin(), mine.end());
+    mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+  }
+  return DependenceGraph::from_lists(preds);
+}
+
+struct PropertyParam {
+  index_t n;
+  int max_deg;
+  int nproc;
+  std::uint64_t seed;
+};
+
+class DagPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(DagPropertyTest, WavefrontIsMinimalLevelAssignment) {
+  // wave[i] == 0 iff no deps; otherwise exactly 1 + max(wave[deps]).
+  const auto p = GetParam();
+  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const auto wf = compute_wavefronts(g);
+  for (index_t i = 0; i < g.size(); ++i) {
+    index_t expect = 0;
+    for (const index_t d : g.deps(i)) {
+      expect = std::max(expect, wf.wave[static_cast<std::size_t>(d)] + 1);
+    }
+    EXPECT_EQ(wf.wave[static_cast<std::size_t>(i)], expect);
+  }
+}
+
+TEST_P(DagPropertyTest, WavefrontCountEqualsLongestPath) {
+  const auto p = GetParam();
+  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const auto wf = compute_wavefronts(g);
+  // Longest dependence chain computed independently by DP.
+  std::vector<index_t> depth(static_cast<std::size_t>(g.size()), 0);
+  index_t longest = 0;
+  for (index_t i = 0; i < g.size(); ++i) {
+    for (const index_t d : g.deps(i)) {
+      depth[static_cast<std::size_t>(i)] =
+          std::max(depth[static_cast<std::size_t>(i)],
+                   depth[static_cast<std::size_t>(d)] + 1);
+    }
+    longest = std::max(longest, depth[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(wf.num_waves, g.size() == 0 ? 0 : longest + 1);
+}
+
+TEST_P(DagPropertyTest, SchedulesAreAlwaysValid) {
+  const auto p = GetParam();
+  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const auto wf = compute_wavefronts(g);
+  validate_schedule(global_schedule(wf, p.nproc), wf);
+  validate_schedule(local_schedule(wf, wrapped_partition(g.size(), p.nproc)),
+                    wf);
+  validate_schedule(local_schedule(wf, block_partition(g.size(), p.nproc)),
+                    wf);
+}
+
+TEST_P(DagPropertyTest, GlobalScheduleBalancesPhasesWithinOne) {
+  const auto p = GetParam();
+  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const auto wf = compute_wavefronts(g);
+  const auto s = global_schedule(wf, p.nproc);
+  for (index_t w = 0; w < s.num_phases; ++w) {
+    index_t lo = s.n, hi = 0;
+    for (int q = 0; q < p.nproc; ++q) {
+      const index_t c = static_cast<index_t>(s.phase(q, w).size());
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    EXPECT_LE(hi - lo, 1);
+  }
+}
+
+TEST_P(DagPropertyTest, ExecutionOrderRespectsDependences) {
+  const auto p = GetParam();
+  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  ThreadTeam team(p.nproc);
+  const auto wf = compute_wavefronts(g);
+  const auto s = local_schedule(wf, wrapped_partition(g.size(), p.nproc));
+  std::atomic<long> clock{0};
+  std::vector<long> stamp(static_cast<std::size_t>(g.size()), -1);
+  ReadyFlags ready(g.size());
+  execute_self(team, s, g, ready, [&](index_t i) {
+    stamp[static_cast<std::size_t>(i)] = clock.fetch_add(1);
+  });
+  for (index_t i = 0; i < g.size(); ++i) {
+    for (const index_t d : g.deps(i)) {
+      ASSERT_LT(stamp[static_cast<std::size_t>(d)],
+                stamp[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST_P(DagPropertyTest, RecurrenceResultIndependentOfPolicy) {
+  // Evaluate x(i) = 1 + sum over deps of 0.5 x(d) / |deps| under every
+  // policy combination; all must equal the sequential result bit-for-bit
+  // (same operand order per iteration).
+  const auto p = GetParam();
+  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  ThreadTeam team(p.nproc);
+
+  std::vector<real_t> ref(static_cast<std::size_t>(g.size()));
+  for (index_t i = 0; i < g.size(); ++i) {
+    real_t v = 1.0;
+    const auto deps = g.deps(i);
+    for (const index_t d : deps) {
+      v += 0.5 * ref[static_cast<std::size_t>(d)] /
+           static_cast<real_t>(deps.size());
+    }
+    ref[static_cast<std::size_t>(i)] = v;
+  }
+
+  for (const auto sched :
+       {SchedulingPolicy::kGlobal, SchedulingPolicy::kLocalWrapped,
+        SchedulingPolicy::kLocalBlock}) {
+    for (const auto exec :
+         {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting,
+          ExecutionPolicy::kDoAcross}) {
+      std::vector<real_t> x(static_cast<std::size_t>(g.size()), 0.0);
+      DoconsiderOptions opts;
+      opts.scheduling = sched;
+      opts.execution = exec;
+      DependenceGraph copy = g;
+      doconsider(
+          team, std::move(copy),
+          [&](index_t i) {
+            real_t v = 1.0;
+            const auto deps = g.deps(i);
+            for (const index_t d : deps) {
+              v += 0.5 * x[static_cast<std::size_t>(d)] /
+                   static_cast<real_t>(deps.size());
+            }
+            x[static_cast<std::size_t>(i)] = v;
+          },
+          opts);
+      ASSERT_EQ(x, ref);
+    }
+  }
+}
+
+TEST_P(DagPropertyTest, SymbolicSelfNeverSlowerThanPreScheduled) {
+  const auto p = GetParam();
+  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const auto wf = compute_wavefronts(g);
+  const auto work = row_substitution_work(g);
+  const auto s = global_schedule(wf, p.nproc);
+  const auto pre = estimate_prescheduled(s, work);
+  const auto self = estimate_self_executing(s, g, work);
+  EXPECT_LE(self.parallel_work, pre.parallel_work + 1e-9);
+}
+
+TEST_P(DagPropertyTest, MakespanBounds) {
+  // Any estimate lies between total/p (perfect speedup) and total work.
+  const auto p = GetParam();
+  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const auto wf = compute_wavefronts(g);
+  const auto work = row_substitution_work(g);
+  const double total = std::accumulate(work.begin(), work.end(), 0.0);
+  for (const auto& s :
+       {global_schedule(wf, p.nproc),
+        local_schedule(wf, wrapped_partition(g.size(), p.nproc))}) {
+    const auto pre = estimate_prescheduled(s, work);
+    const auto self = estimate_self_executing(s, g, work);
+    EXPECT_GE(pre.parallel_work + 1e-9, total / p.nproc);
+    EXPECT_LE(pre.parallel_work, total + 1e-9);
+    EXPECT_GE(self.parallel_work + 1e-9, total / p.nproc);
+    EXPECT_LE(self.parallel_work, total + 1e-9);
+  }
+}
+
+TEST_P(DagPropertyTest, ParallelInspectorMatchesSequential) {
+  const auto p = GetParam();
+  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  ThreadTeam team(p.nproc);
+  const auto seq = compute_wavefronts(g);
+  const auto par = compute_wavefronts_parallel(g, team);
+  EXPECT_EQ(seq.wave, par.wave);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDags, DagPropertyTest,
+    ::testing::Values(PropertyParam{1, 1, 1, 1}, PropertyParam{2, 1, 2, 2},
+                      PropertyParam{50, 1, 3, 3}, PropertyParam{50, 4, 4, 4},
+                      PropertyParam{200, 2, 8, 5},
+                      PropertyParam{200, 6, 5, 6},
+                      PropertyParam{500, 3, 16, 7},
+                      PropertyParam{911, 5, 7, 8},
+                      PropertyParam{1024, 8, 16, 9},
+                      PropertyParam{333, 1, 2, 10}));
+
+class SyntheticPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(SyntheticPropertyTest, GeneratedWorkloadsAreWellFormed) {
+  const auto [mesh, lambda, dist] = GetParam();
+  const SyntheticSpec spec{.mesh = static_cast<index_t>(mesh),
+                           .lambda = lambda,
+                           .mean_dist = dist,
+                           .seed = 99};
+  const auto g = synthetic_dependences(spec);
+  EXPECT_EQ(g.size(), static_cast<index_t>(mesh) * mesh);
+  EXPECT_TRUE(g.is_forward_only());
+  const auto wf = compute_wavefronts(g);
+  EXPECT_GE(wf.num_waves, 1);
+  // Dependence edges per index can't exceed what Poisson sampled; just
+  // sanity-bound the mean.
+  const double mean_deg =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.size());
+  EXPECT_LT(mean_deg, lambda + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, SyntheticPropertyTest,
+    ::testing::Combine(::testing::Values(10, 33, 65),
+                       ::testing::Values(1.0, 4.0, 8.0),
+                       ::testing::Values(1.5, 3.0, 6.0)));
+
+}  // namespace
+}  // namespace rtl

@@ -1,0 +1,233 @@
+// Tests for the runtime substrate: thread team, barrier, ready flags,
+// spin waits, block partitioning.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+#include "runtime/ready_flags.hpp"
+#include "runtime/spin_wait.hpp"
+#include "runtime/thread_team.hpp"
+#include "runtime/timer.hpp"
+
+namespace rtl {
+namespace {
+
+TEST(BlockRange, CoversWholeRangeWithoutOverlap) {
+  const index_t n = 103;
+  const int p = 7;
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  for (int t = 0; t < p; ++t) {
+    const BlockRange r = block_range(n, t, p);
+    EXPECT_LE(r.begin, r.end);
+    for (index_t i = r.begin; i < r.end; ++i) {
+      ++hits[static_cast<std::size_t>(i)];
+    }
+  }
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(BlockRange, BalancedWithinOne) {
+  const index_t n = 100;
+  const int p = 16;
+  index_t min_len = n, max_len = 0;
+  for (int t = 0; t < p; ++t) {
+    const BlockRange r = block_range(n, t, p);
+    min_len = std::min(min_len, r.end - r.begin);
+    max_len = std::max(max_len, r.end - r.begin);
+  }
+  EXPECT_LE(max_len - min_len, 1);
+}
+
+TEST(BlockRange, MoreThreadsThanWork) {
+  const index_t n = 3;
+  const int p = 8;
+  index_t covered = 0;
+  for (int t = 0; t < p; ++t) {
+    const BlockRange r = block_range(n, t, p);
+    covered += r.end - r.begin;
+  }
+  EXPECT_EQ(covered, n);
+}
+
+TEST(BlockRange, EmptyRange) {
+  const BlockRange r = block_range(0, 0, 4);
+  EXPECT_EQ(r.begin, r.end);
+}
+
+TEST(ThreadTeam, RunsEveryTidExactlyOnce) {
+  ThreadTeam team(8);
+  std::vector<std::atomic<int>> hits(8);
+  for (auto& h : hits) h.store(0);
+  team.run([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadTeam, SingleThreadTeamRunsInline) {
+  ThreadTeam team(1);
+  int hits = 0;
+  team.run([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ThreadTeam, RepeatedRegionsReuseWorkers) {
+  ThreadTeam team(4);
+  std::atomic<int> total{0};
+  for (int rep = 0; rep < 100; ++rep) {
+    team.run([&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadTeam, ParallelBlocksSumsCorrectly) {
+  ThreadTeam team(6);
+  const index_t n = 10007;
+  std::vector<long> data(static_cast<std::size_t>(n));
+  std::iota(data.begin(), data.end(), 0L);
+  std::atomic<long> sum{0};
+  team.parallel_blocks(n, [&](int, index_t b, index_t e) {
+    long local = 0;
+    for (index_t i = b; i < e; ++i) local += data[static_cast<std::size_t>(i)];
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadTeam, PropagatesExceptionFromWorker) {
+  ThreadTeam team(4);
+  EXPECT_THROW(team.run([&](int tid) {
+    if (tid == 2) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+  // The team must remain usable after an exception.
+  std::atomic<int> total{0};
+  team.run([&](int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadTeam, PropagatesExceptionFromCaller) {
+  ThreadTeam team(3);
+  EXPECT_THROW(team.run([&](int tid) {
+    if (tid == 0) throw std::logic_error("caller");
+  }),
+               std::logic_error);
+}
+
+TEST(SpinBarrier, SynchronizesCounterPhases) {
+  const int p = 8;
+  ThreadTeam team(p);
+  SpinBarrier& barrier = team.barrier();
+  std::vector<std::atomic<int>> counters(100);
+  for (auto& c : counters) c.store(0);
+  team.run([&](int) {
+    BarrierToken bar(barrier);
+    for (int phase = 0; phase < 100; ++phase) {
+      counters[static_cast<std::size_t>(phase)].fetch_add(1);
+      bar.wait();
+      // After the barrier, every thread must observe the full count.
+      EXPECT_EQ(counters[static_cast<std::size_t>(phase)].load(), p);
+      bar.wait();
+    }
+  });
+}
+
+TEST(SpinBarrier, SingleParticipantNeverBlocks) {
+  SpinBarrier barrier(1);
+  BarrierToken bar(barrier);
+  for (int i = 0; i < 10; ++i) bar.wait();
+  SUCCEED();
+}
+
+TEST(SpinBarrier, OrdersWritesAcrossPhases) {
+  const int p = 4;
+  ThreadTeam team(p);
+  std::vector<int> values(static_cast<std::size_t>(p), 0);
+  team.run([&](int tid) {
+    BarrierToken bar(team.barrier());
+    values[static_cast<std::size_t>(tid)] = tid + 1;
+    bar.wait();
+    int sum = 0;
+    for (const int v : values) sum += v;
+    EXPECT_EQ(sum, p * (p + 1) / 2);
+    bar.wait();
+  });
+}
+
+TEST(ReadyFlags, SetAndTest) {
+  ReadyFlags flags(10);
+  EXPECT_EQ(flags.size(), 10);
+  EXPECT_FALSE(flags.is_set(3));
+  flags.set(3);
+  EXPECT_TRUE(flags.is_set(3));
+  EXPECT_FALSE(flags.is_set(4));
+}
+
+TEST(ReadyFlags, ResetClearsAll) {
+  ReadyFlags flags(5);
+  for (index_t i = 0; i < 5; ++i) flags.set(i);
+  flags.reset();
+  for (index_t i = 0; i < 5; ++i) EXPECT_FALSE(flags.is_set(i));
+}
+
+TEST(ReadyFlags, WaitReturnsImmediatelyWhenSet) {
+  ReadyFlags flags(2);
+  flags.set(1);
+  flags.wait(1);  // must not hang
+  SUCCEED();
+}
+
+TEST(ReadyFlags, PublishesDataAcrossThreads) {
+  // Producer-consumer handoff through a ready flag must make the produced
+  // value visible (release/acquire pairing).
+  ThreadTeam team(2);
+  for (int rep = 0; rep < 50; ++rep) {
+    ReadyFlags flags(1);
+    int payload = 0;
+    team.run([&](int tid) {
+      if (tid == 0) {
+        payload = 42;
+        flags.set(0);
+      } else {
+        flags.wait(0);
+        EXPECT_EQ(payload, 42);
+      }
+    });
+  }
+}
+
+TEST(SpinWaitTest, SpinUntilObservesPredicate) {
+  std::atomic<bool> flag{false};
+  ThreadTeam team(2);
+  team.run([&](int tid) {
+    if (tid == 0) {
+      flag.store(true, std::memory_order_release);
+    } else {
+      spin_until([&] { return flag.load(std::memory_order_acquire); });
+    }
+  });
+  EXPECT_TRUE(flag.load());
+}
+
+TEST(WallTimerTest, MeasuresNonNegativeDurations) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000; ++i) sink = sink + i;
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+  EXPECT_GE(t.elapsed_s(), 0.0);
+}
+
+TEST(WallTimerTest, MinTimeMsRunsAllRepeats) {
+  int count = 0;
+  const double ms = min_time_ms(5, [&] { ++count; });
+  EXPECT_EQ(count, 5);
+  EXPECT_GE(ms, 0.0);
+}
+
+}  // namespace
+}  // namespace rtl

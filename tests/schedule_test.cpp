@@ -1,0 +1,238 @@
+// Tests for partitions and the global/local schedulers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/partition.hpp"
+#include "core/schedule.hpp"
+#include "graph/wavefront.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/triangular.hpp"
+#include "workload/stencil.hpp"
+
+namespace rtl {
+namespace {
+
+WavefrontInfo mesh_wavefronts(index_t nx, index_t ny) {
+  const auto sys = five_point(nx, ny);
+  IluFactorization ilu(sys.a, 0);
+  return compute_wavefronts(lower_solve_dependences(ilu.lower()));
+}
+
+TEST(PartitionTest, WrappedAssignsModulo) {
+  const auto part = wrapped_partition(10, 3);
+  EXPECT_EQ(part.nproc(), 3);
+  for (index_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(part.owner(i), static_cast<int>(i % 3));
+  }
+}
+
+TEST(PartitionTest, BlockAssignsContiguously) {
+  const auto part = block_partition(10, 3);
+  for (index_t i = 1; i < 10; ++i) {
+    EXPECT_GE(part.owner(i), part.owner(i - 1));
+  }
+  const auto m = part.members();
+  std::size_t total = 0;
+  for (const auto& v : m) total += v.size();
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(PartitionTest, MembersSortedAndDisjoint) {
+  const auto part = wrapped_partition(23, 5);
+  const auto m = part.members();
+  std::set<index_t> seen;
+  for (const auto& v : m) {
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+    for (const index_t i : v) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(PartitionTest, RejectsBadArgs) {
+  EXPECT_THROW(Partition(0, {}), std::invalid_argument);
+  EXPECT_THROW(Partition(2, {0, 2}), std::invalid_argument);
+}
+
+TEST(GlobalScheduleTest, ValidOnMesh) {
+  const auto wf = mesh_wavefronts(5, 7);
+  const auto s = global_schedule(wf, 4);
+  EXPECT_EQ(s.nproc, 4);
+  EXPECT_EQ(s.n, 35);
+  EXPECT_EQ(s.num_phases, wf.num_waves);
+  validate_schedule(s, wf);
+}
+
+TEST(GlobalScheduleTest, BalancesEveryWavefrontWithinOne) {
+  const auto wf = mesh_wavefronts(8, 8);
+  const int p = 4;
+  const auto s = global_schedule(wf, p);
+  for (index_t w = 0; w < s.num_phases; ++w) {
+    index_t lo = s.n, hi = 0;
+    for (int q = 0; q < p; ++q) {
+      const index_t c = static_cast<index_t>(s.phase(q, w).size());
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    EXPECT_LE(hi - lo, 1) << "wavefront " << w;
+  }
+}
+
+TEST(GlobalScheduleTest, OrderIsNonDecreasingInWavefront) {
+  const auto wf = mesh_wavefronts(6, 9);
+  const auto s = global_schedule(wf, 3);
+  for (int p = 0; p < s.nproc; ++p) {
+    const auto& ord = s.order[static_cast<std::size_t>(p)];
+    for (std::size_t k = 1; k < ord.size(); ++k) {
+      EXPECT_LE(wf.wave[static_cast<std::size_t>(ord[k - 1])],
+                wf.wave[static_cast<std::size_t>(ord[k])]);
+    }
+  }
+}
+
+TEST(GlobalScheduleTest, WithinWavefrontIncreasingIndexOrder) {
+  // §4.2: the sorted list arranges points in each wavefront in order of
+  // increasing index number; per-processor order inherits that.
+  const auto wf = mesh_wavefronts(5, 5);
+  const auto s = global_schedule(wf, 2);
+  for (int p = 0; p < s.nproc; ++p) {
+    for (index_t w = 0; w < s.num_phases; ++w) {
+      const auto ph = s.phase(p, w);
+      EXPECT_TRUE(std::is_sorted(ph.begin(), ph.end()));
+    }
+  }
+}
+
+TEST(GlobalScheduleTest, SingleProcessorGetsSortedList) {
+  const auto wf = mesh_wavefronts(3, 3);
+  const auto s = global_schedule(wf, 1);
+  ASSERT_EQ(s.order.size(), 1u);
+  EXPECT_EQ(s.order[0].size(), 9u);
+  for (std::size_t k = 1; k < s.order[0].size(); ++k) {
+    EXPECT_LE(wf.wave[static_cast<std::size_t>(s.order[0][k - 1])],
+              wf.wave[static_cast<std::size_t>(s.order[0][k])]);
+  }
+}
+
+TEST(GlobalScheduleTest, RejectsZeroProcessors) {
+  const auto wf = mesh_wavefronts(2, 2);
+  EXPECT_THROW(global_schedule(wf, 0), std::invalid_argument);
+}
+
+TEST(LocalScheduleTest, PreservesPartition) {
+  const auto wf = mesh_wavefronts(5, 7);
+  const auto part = wrapped_partition(35, 4);
+  const auto s = local_schedule(wf, part);
+  validate_schedule(s, wf);
+  for (int p = 0; p < s.nproc; ++p) {
+    for (const index_t i : s.order[static_cast<std::size_t>(p)]) {
+      EXPECT_EQ(part.owner(i), p);
+    }
+  }
+}
+
+TEST(LocalScheduleTest, LocallySortedByWavefront) {
+  const auto wf = mesh_wavefronts(6, 6);
+  const auto s = local_schedule(wf, wrapped_partition(36, 5));
+  for (int p = 0; p < s.nproc; ++p) {
+    const auto& ord = s.order[static_cast<std::size_t>(p)];
+    for (std::size_t k = 1; k < ord.size(); ++k) {
+      EXPECT_LE(wf.wave[static_cast<std::size_t>(ord[k - 1])],
+                wf.wave[static_cast<std::size_t>(ord[k])]);
+    }
+  }
+}
+
+TEST(LocalScheduleTest, StableWithinWavefront) {
+  // Ties broken by original (increasing index) order.
+  const auto wf = mesh_wavefronts(4, 4);
+  const auto s = local_schedule(wf, wrapped_partition(16, 3));
+  for (int p = 0; p < s.nproc; ++p) {
+    for (index_t w = 0; w < s.num_phases; ++w) {
+      const auto ph = s.phase(p, w);
+      EXPECT_TRUE(std::is_sorted(ph.begin(), ph.end()));
+    }
+  }
+}
+
+TEST(LocalScheduleTest, BlockPartitionKeepsOwnership) {
+  const auto wf = mesh_wavefronts(6, 4);
+  const auto part = block_partition(24, 4);
+  const auto s = local_schedule(wf, part);
+  validate_schedule(s, wf);
+  for (int p = 0; p < s.nproc; ++p) {
+    for (const index_t i : s.order[static_cast<std::size_t>(p)]) {
+      EXPECT_EQ(part.owner(i), p);
+    }
+  }
+}
+
+TEST(LocalScheduleTest, SizeMismatchThrows) {
+  const auto wf = mesh_wavefronts(3, 3);
+  EXPECT_THROW(local_schedule(wf, wrapped_partition(8, 2)),
+               std::invalid_argument);
+}
+
+TEST(OriginalOrderScheduleTest, StripesIndices) {
+  const auto s = original_order_schedule(10, 3);
+  EXPECT_EQ(s.num_phases, 1);
+  EXPECT_EQ(s.order[0], (std::vector<index_t>{0, 3, 6, 9}));
+  EXPECT_EQ(s.order[1], (std::vector<index_t>{1, 4, 7}));
+  EXPECT_EQ(s.order[2], (std::vector<index_t>{2, 5, 8}));
+}
+
+TEST(SortedListTest, OrderedByWaveThenIndex) {
+  const auto wf = mesh_wavefronts(6, 5);
+  const auto list = wavefront_sorted_list(wf);
+  ASSERT_EQ(list.size(), 30u);
+  for (std::size_t k = 1; k < list.size(); ++k) {
+    const index_t wa = wf.wave[static_cast<std::size_t>(list[k - 1])];
+    const index_t wb = wf.wave[static_cast<std::size_t>(list[k])];
+    EXPECT_TRUE(wa < wb || (wa == wb && list[k - 1] < list[k]));
+  }
+}
+
+class ParallelGlobalScheduleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelGlobalScheduleTest, IdenticalToSequentialScheduler) {
+  ThreadTeam team(GetParam());
+  const auto wf = mesh_wavefronts(13, 11);
+  for (const int nproc : {1, 3, 8}) {
+    const auto seq = global_schedule(wf, nproc);
+    const auto par = global_schedule_parallel(wf, nproc, team);
+    EXPECT_EQ(par.order, seq.order) << "nproc=" << nproc;
+    EXPECT_EQ(par.phase_ptr, seq.phase_ptr) << "nproc=" << nproc;
+  }
+}
+
+TEST_P(ParallelGlobalScheduleTest, ValidOnSyntheticGraph) {
+  ThreadTeam team(GetParam());
+  const auto sys = five_point(17, 23);
+  IluFactorization ilu(sys.a, 1);
+  const auto wf = compute_wavefronts(lower_solve_dependences(ilu.lower()));
+  const auto s = global_schedule_parallel(wf, 5, team);
+  validate_schedule(s, wf);
+}
+
+INSTANTIATE_TEST_SUITE_P(Teams, ParallelGlobalScheduleTest,
+                         ::testing::Values(1, 2, 7, 16));
+
+TEST(ValidateScheduleTest, CatchesDuplicates) {
+  const auto wf = mesh_wavefronts(2, 2);
+  auto s = global_schedule(wf, 2);
+  s.order[0][0] = s.order[1][0];  // corrupt: duplicate + missing
+  EXPECT_THROW(validate_schedule(s, wf), std::invalid_argument);
+}
+
+TEST(ValidateScheduleTest, CatchesWrongPhase) {
+  const auto wf = mesh_wavefronts(3, 3);
+  auto s = global_schedule(wf, 1);
+  // Swap two entries across a phase boundary.
+  std::swap(s.order[0].front(), s.order[0].back());
+  EXPECT_THROW(validate_schedule(s, wf), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtl

@@ -1,0 +1,312 @@
+// Tests for the Krylov substrate: parallel triangular solves, parallel
+// numeric factorization, the ILU preconditioner, CG and GMRES.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/ilu_preconditioner.hpp"
+#include "solver/krylov.hpp"
+#include "solver/parallel_triangular.hpp"
+#include "sparse/coo_builder.hpp"
+#include "sparse/parallel_ops.hpp"
+#include "sparse/triangular.hpp"
+#include "workload/problems.hpp"
+#include "workload/stencil.hpp"
+
+namespace rtl {
+namespace {
+
+double residual_norm(const CsrMatrix& a, std::span<const real_t> x,
+                     std::span<const real_t> b) {
+  std::vector<real_t> r(x.size());
+  a.spmv(x, r);
+  double s = 0.0;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    s += (r[i] - b[i]) * (r[i] - b[i]);
+  }
+  return std::sqrt(s);
+}
+
+double norm(std::span<const real_t> v) {
+  double s = 0.0;
+  for (const real_t x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+class TriangularSolverTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TriangularSolverTest, MatchesSequentialSolves) {
+  const auto [nthreads, exec_policy] = GetParam();
+  ThreadTeam team(nthreads);
+  const auto prob = make_spe4();
+  IluFactorization ilu(prob.system.a, 0);
+  ilu.factor(prob.system.a);
+
+  DoconsiderOptions opts;
+  opts.execution = static_cast<ExecutionPolicy>(exec_policy);
+  ParallelTriangularSolver solver(team, ilu, opts);
+
+  const index_t n = prob.system.a.rows();
+  std::vector<real_t> rhs(prob.system.rhs);
+  std::vector<real_t> tmp(static_cast<std::size_t>(n)),
+      y_par(static_cast<std::size_t>(n)), y_seq(static_cast<std::size_t>(n)),
+      tmp_seq(static_cast<std::size_t>(n));
+
+  solver.solve(team, rhs, tmp, y_par);
+  solve_lower_unit(ilu.lower(), rhs, tmp_seq);
+  solve_upper(ilu.upper(), tmp_seq, y_seq);
+
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y_par[static_cast<std::size_t>(i)],
+                y_seq[static_cast<std::size_t>(i)], 1e-12)
+        << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySweep, TriangularSolverTest,
+    ::testing::Combine(::testing::Values(1, 4, 16),
+                       ::testing::Values(0, 1, 2)));  // pre/self/doacross
+
+TEST(TriangularSolverRepeat, SolvesAreRepeatable) {
+  ThreadTeam team(8);
+  const auto sys = five_point(40, 40);
+  IluFactorization ilu(sys.a, 0);
+  ilu.factor(sys.a);
+  ParallelTriangularSolver solver(team, ilu);
+  const index_t n = sys.a.rows();
+  std::vector<real_t> tmp(static_cast<std::size_t>(n)),
+      y1(static_cast<std::size_t>(n)), y2(static_cast<std::size_t>(n));
+  solver.solve(team, sys.rhs, tmp, y1);
+  for (int rep = 0; rep < 10; ++rep) {
+    solver.solve(team, sys.rhs, tmp, y2);
+    EXPECT_EQ(y1, y2) << "rep " << rep;
+  }
+}
+
+class ParallelFactorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelFactorTest, MatchesSequentialFactorization) {
+  ThreadTeam team(GetParam());
+  const auto prob = make_spe2();
+  IluFactorization seq(prob.system.a, 0);
+  seq.factor(prob.system.a);
+
+  IluPreconditioner precond(team, prob.system.a, 0);
+  precond.factor(team, prob.system.a);
+
+  const auto& l1 = seq.lower().values();
+  const auto& l2 = precond.factors().lower().values();
+  ASSERT_EQ(l1.size(), l2.size());
+  for (std::size_t k = 0; k < l1.size(); ++k) {
+    EXPECT_NEAR(l1[k], l2[k], 1e-13);
+  }
+  const auto& u1 = seq.upper().values();
+  const auto& u2 = precond.factors().upper().values();
+  ASSERT_EQ(u1.size(), u2.size());
+  for (std::size_t k = 0; k < u1.size(); ++k) {
+    EXPECT_NEAR(u1[k], u2[k], 1e-13);
+  }
+}
+
+TEST_P(ParallelFactorTest, HigherFillLevelsAlsoMatch) {
+  ThreadTeam team(GetParam());
+  const auto sys = five_point(15, 15);
+  IluFactorization seq(sys.a, 2);
+  seq.factor(sys.a);
+  DoconsiderOptions opts;
+  opts.execution = ExecutionPolicy::kSelfExecuting;
+  IluPreconditioner precond(team, sys.a, 2, opts);
+  precond.factor(team, sys.a);
+  const auto& u1 = seq.upper().values();
+  const auto& u2 = precond.factors().upper().values();
+  ASSERT_EQ(u1.size(), u2.size());
+  for (std::size_t k = 0; k < u1.size(); ++k) {
+    EXPECT_NEAR(u1[k], u2[k], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Teams, ParallelFactorTest,
+                         ::testing::Values(1, 2, 8, 16));
+
+TEST(PreconditionerTest, ApplyEqualsTwoTriangularSolves) {
+  ThreadTeam team(8);
+  const auto sys = five_point(25, 25);
+  IluPreconditioner precond(team, sys.a, 0);
+  precond.factor(team, sys.a);
+  const index_t n = sys.a.rows();
+  std::vector<real_t> z(static_cast<std::size_t>(n)),
+      tmp(static_cast<std::size_t>(n)), ref(static_cast<std::size_t>(n));
+  precond.apply(team, sys.rhs, z);
+  solve_lower_unit(precond.factors().lower(), sys.rhs, tmp);
+  solve_upper(precond.factors().upper(), tmp, ref);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(z[static_cast<std::size_t>(i)],
+                ref[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(GmresTest, SolvesDiagonalSystemExactly) {
+  ThreadTeam team(4);
+  const CsrMatrix a(3, 3, {0, 1, 2, 3}, {0, 1, 2}, {2.0, 4.0, 8.0});
+  const std::vector<real_t> b = {2.0, 8.0, 24.0};
+  std::vector<real_t> x(3, 0.0);
+  const auto res = gmres_solve(team, a, b, x, nullptr);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+  EXPECT_NEAR(x[2], 3.0, 1e-10);
+}
+
+TEST(GmresTest, UnpreconditionedConvergesOnSmallMesh) {
+  ThreadTeam team(8);
+  const auto sys = five_point(10, 10);
+  std::vector<real_t> x(static_cast<std::size_t>(sys.a.rows()), 0.0);
+  KrylovOptions opt;
+  opt.max_iterations = 2000;
+  opt.restart = 50;
+  const auto res = gmres_solve(team, sys.a, sys.rhs, x, nullptr, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(residual_norm(sys.a, x, sys.rhs), 1e-6 * norm(sys.rhs) + 1e-10);
+}
+
+class GmresPolicyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GmresPolicyTest, PreconditionedSolveMatchesManufacturedSolution) {
+  ThreadTeam team(8);
+  const auto sys = five_point(31, 31);
+  DoconsiderOptions opts;
+  opts.execution = static_cast<ExecutionPolicy>(GetParam());
+  IluPreconditioner precond(team, sys.a, 0, opts);
+  precond.factor(team, sys.a);
+  std::vector<real_t> x(static_cast<std::size_t>(sys.a.rows()), 0.0);
+  KrylovOptions kopt;
+  kopt.max_iterations = 300;
+  const auto res = gmres_solve(team, sys.a, sys.rhs, x, &precond, kopt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(residual_norm(sys.a, x, sys.rhs), 1e-5 * norm(sys.rhs) + 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, GmresPolicyTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(GmresTest, PreconditioningReducesIterations) {
+  ThreadTeam team(8);
+  const auto sys = five_point(25, 25);
+  KrylovOptions opt;
+  opt.max_iterations = 2000;
+  opt.rtol = 1e-8;
+
+  std::vector<real_t> x_plain(static_cast<std::size_t>(sys.a.rows()), 0.0);
+  const auto plain = gmres_solve(team, sys.a, sys.rhs, x_plain, nullptr, opt);
+
+  IluPreconditioner precond(team, sys.a, 0);
+  precond.factor(team, sys.a);
+  std::vector<real_t> x_pc(static_cast<std::size_t>(sys.a.rows()), 0.0);
+  const auto pc = gmres_solve(team, sys.a, sys.rhs, x_pc, &precond, opt);
+
+  EXPECT_TRUE(pc.converged);
+  ASSERT_TRUE(plain.converged);
+  EXPECT_LT(pc.iterations, plain.iterations);
+}
+
+TEST(GmresTest, SolvesAllStandardProblems) {
+  ThreadTeam team(16);
+  for (const auto& prob : standard_problem_set()) {
+    IluPreconditioner precond(team, prob.system.a, 0);
+    precond.factor(team, prob.system.a);
+    std::vector<real_t> x(static_cast<std::size_t>(prob.system.a.rows()),
+                          0.0);
+    KrylovOptions opt;
+    opt.max_iterations = 500;
+    opt.rtol = 1e-8;
+    const auto res =
+        gmres_solve(team, prob.system.a, prob.system.rhs, x, &precond, opt);
+    EXPECT_TRUE(res.converged) << prob.name;
+    EXPECT_LT(residual_norm(prob.system.a, x, prob.system.rhs),
+              1e-4 * norm(prob.system.rhs) + 1e-8)
+        << prob.name;
+  }
+}
+
+TEST(PcgTest, SolvesSpdSystem) {
+  // Pure diffusion 5-pt Laplacian is SPD.
+  ThreadTeam team(4);
+  const index_t nx = 15;
+  CooBuilder coo(nx * nx, nx * nx);
+  for (index_t j = 0; j < nx; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t row = j * nx + i;
+      coo.add(row, row, 4.0);
+      if (i > 0) coo.add(row, row - 1, -1.0);
+      if (i + 1 < nx) coo.add(row, row + 1, -1.0);
+      if (j > 0) coo.add(row, row - nx, -1.0);
+      if (j + 1 < nx) coo.add(row, row + nx, -1.0);
+    }
+  }
+  const auto a = coo.build();
+  std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<real_t> x(b.size(), 0.0);
+  KrylovOptions opt;
+  opt.rtol = 1e-10;
+  opt.max_iterations = 500;
+  const auto res = pcg_solve(team, a, b, x, nullptr, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(residual_norm(a, x, b), 1e-7 * norm(b));
+}
+
+TEST(PcgTest, PreconditionedPcgConvergesFaster) {
+  ThreadTeam team(4);
+  const index_t nx = 31;
+  CooBuilder coo(nx * nx, nx * nx);
+  for (index_t j = 0; j < nx; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t row = j * nx + i;
+      coo.add(row, row, 4.0);
+      if (i > 0) coo.add(row, row - 1, -1.0);
+      if (i + 1 < nx) coo.add(row, row + 1, -1.0);
+      if (j > 0) coo.add(row, row - nx, -1.0);
+      if (j + 1 < nx) coo.add(row, row + nx, -1.0);
+    }
+  }
+  const auto a = coo.build();
+  std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  KrylovOptions opt;
+  opt.rtol = 1e-8;
+  opt.max_iterations = 1000;
+
+  std::vector<real_t> x1(b.size(), 0.0);
+  const auto plain = pcg_solve(team, a, b, x1, nullptr, opt);
+  IluPreconditioner precond(team, a, 0);
+  precond.factor(team, a);
+  std::vector<real_t> x2(b.size(), 0.0);
+  const auto pc = pcg_solve(team, a, b, x2, &precond, opt);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(pc.converged);
+  EXPECT_LT(pc.iterations, plain.iterations);
+}
+
+TEST(KrylovEdge, ZeroRhsConvergesImmediately) {
+  ThreadTeam team(2);
+  const CsrMatrix a(2, 2, {0, 1, 2}, {0, 1}, {1.0, 1.0});
+  const std::vector<real_t> b = {0.0, 0.0};
+  std::vector<real_t> x = {0.0, 0.0};
+  const auto res = gmres_solve(team, a, b, x, nullptr);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(KrylovEdge, WarmStartFromExactSolution) {
+  ThreadTeam team(2);
+  const CsrMatrix a(2, 2, {0, 1, 2}, {0, 1}, {2.0, 3.0});
+  const std::vector<real_t> b = {4.0, 9.0};
+  std::vector<real_t> x = {2.0, 3.0};  // exact
+  const auto res = gmres_solve(team, a, b, x, nullptr);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+}  // namespace
+}  // namespace rtl
