@@ -20,7 +20,7 @@ int main() {
               "E_ps(exact)", "E_ps(eq.4)", "E_ps(sim)", "E_se(eq.5)",
               "E_se(sim)");
 
-  for (const auto [m, n] : {std::pair<index_t, index_t>{16, 16},
+  for (const auto& [m, n] : {std::pair<index_t, index_t>{16, 16},
                             {16, 64},
                             {9, 129},
                             {33, 33},
@@ -42,17 +42,21 @@ int main() {
     }
   }
 
-  // Measured confirmation on one narrow and one square domain.
+  // Measured confirmation on one narrow and one square domain. The narrow
+  // domain is the paper's m = p+1 regime (eq. 6), so it must track the
+  // processor count for the measured ratio to correspond to the printed
+  // eq. 6 limit.
+  const int p = default_procs();
   std::printf("\nMeasured pre-scheduled vs self-executing (ms):\n");
   std::printf("%10s %3s | %9s %9s | %14s\n", "domain", "p", "P.S.", "S.E.",
               "ratio (meas)");
-  for (const auto [m, n] : {std::pair<index_t, index_t>{9, 513},
-                            {129, 129}}) {
+  for (const auto& [m, n] :
+       {std::pair<index_t, index_t>{static_cast<index_t>(p + 1), 513},
+        {129, 129}}) {
     TestProblem prob;
     prob.name = "mesh";
     prob.system = five_point(m, n);
     const SolveCase c(std::move(prob));
-    const int p = 8;
     ThreadTeam team(p);
     const auto s = global_schedule(c.wavefronts, p);
     const double pre_ms = time_prescheduled_lower_ms(team, c, s, reps);
@@ -65,9 +69,9 @@ int main() {
   const ModelRatios r{.r_synch = 20.0, .r_inc = 0.3, .r_check = 0.15};
   std::printf(
       "\nRatio limits with R_synch=%.0f, R_inc=%.2f, R_check=%.2f:\n"
-      "  narrow domains (m = p+1, eq. 6), p = 8 : %.3f  (> 1: S.E. wins)\n"
-      "  square domains (m = n,  eq. 7)         : %.3f  (< 1: P.S. wins)\n",
-      r.r_synch, r.r_inc, r.r_check, time_ratio_limit_narrow(8, r),
+      "  narrow domains (m = p+1, eq. 6), p = %d : %.3f  (> 1: S.E. wins)\n"
+      "  square domains (m = n,  eq. 7)          : %.3f  (< 1: P.S. wins)\n",
+      r.r_synch, r.r_inc, r.r_check, p, time_ratio_limit_narrow(p, r),
       time_ratio_limit_square(r));
 
   // Dense-triangular extreme (§4.2's closing example).

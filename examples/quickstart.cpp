@@ -62,11 +62,24 @@ int main() {
   });
   const double executor_ms = executor_timer.elapsed_ms();
 
+  // 4. Verify against the sequential loop — the parallel run must preserve
+  // every dependence, so the results have to match bit-for-bit.
+  std::vector<real_t> ref(static_cast<std::size_t>(n), 1.0);
+  for (index_t i = 1; i < n; ++i) {
+    ref[static_cast<std::size_t>(i)] +=
+        b[static_cast<std::size_t>(i)] *
+        ref[static_cast<std::size_t>(ia[static_cast<std::size_t>(i)])];
+  }
+  if (x != ref) {
+    std::fprintf(stderr, "FAIL: parallel result differs from sequential\n");
+    return 1;
+  }
+
   std::printf("doconsider quickstart: n = %d iterations\n", n);
   std::printf("  wavefronts      : %d\n", plan.wavefronts().num_waves);
   std::printf("  inspector time  : %.2f ms (paid once)\n", inspector_ms);
   std::printf("  executor time   : %.2f ms (per execution)\n", executor_ms);
-  std::printf("  x[n-1]          : %.6f\n",
+  std::printf("  x[n-1]          : %.6f (matches sequential)\n",
               static_cast<double>(x[static_cast<std::size_t>(n - 1)]));
   return 0;
 }

@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the exact command from ROADMAP.md / README.md.
+# Run from the repo root.
+# Extra arguments are forwarded to ctest (e.g. scripts/check.sh -R quickstart);
+# -j takes an explicit value here because on CMake < 3.29 a trailing bare -j
+# would swallow the first forwarded argument.
+set -eu
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j"$(nproc)" "$@"

@@ -138,7 +138,8 @@ TEST(AnalysisTest, DeadlockingScheduleDetected) {
   s.order = {{1, 0}};
   s.phase_ptr = {{0, 2}};
   const std::vector<double> work(2, 1.0);
-  EXPECT_THROW(estimate_self_executing(s, g, work), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(estimate_self_executing(s, g, work)),
+               std::invalid_argument);
 }
 
 TEST(AnalysisTest, LocalVsGlobalEfficiencyOrdering) {
