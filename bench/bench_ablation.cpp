@@ -6,6 +6,8 @@
 
 #include <cstdio>
 
+#include <string>
+
 #include "bench_common.hpp"
 #include "core/executors.hpp"
 #include "core/partition.hpp"
@@ -19,6 +21,7 @@ int main() {
   const int p = default_procs();
   const int reps = default_reps();
   ThreadTeam team(p);
+  Reporter report("bench_ablation");
 
   // --- A: wrapped vs block partition under local scheduling -------------
   std::printf("A. Local scheduling partition shape (%d procs, self-exec)\n",
@@ -30,12 +33,16 @@ int main() {
         local_schedule(c.wavefronts, wrapped_partition(c.graph.size(), p));
     const auto sb =
         local_schedule(c.wavefronts, block_partition(c.graph.size(), p));
-    const double tw = time_self_lower_ms(team, c, sw, reps);
-    const double tb = time_self_lower_ms(team, c, sb, reps);
+    const Stats tw = time_self_lower(team, c, sw, reps);
+    const Stats tb = time_self_lower(team, c, sb, reps);
     const auto ew = estimate_self_executing(sw, c.graph, c.work);
     const auto eb = estimate_self_executing(sb, c.graph, c.work);
-    std::printf("%-8s %12.3f %12.3f %14.3f %14.3f\n", c.name.c_str(), tw, tb,
-                ew.efficiency, eb.efficiency);
+    std::printf("%-8s %12.3f %12.3f %14.3f %14.3f\n", c.name.c_str(),
+                tw.min, tb.min, ew.efficiency, eb.efficiency);
+    report.add(c.name, "partition_wrapped_ms", tw);
+    report.add(c.name, "partition_block_ms", tb);
+    report.add_scalar(c.name, "sym_eff_wrapped", ew.efficiency, "eff");
+    report.add_scalar(c.name, "sym_eff_block", eb.efficiency, "eff");
   }
 
   // --- B: inspector parallelization --------------------------------------
@@ -43,12 +50,14 @@ int main() {
   std::printf("%-8s %10s %10s %9s\n", "Problem", "seq", "parallel",
               "speedup");
   for (const auto& c : table23_cases()) {
-    const double ts =
-        min_time_ms(reps, [&] { (void)compute_wavefronts(c.graph); });
-    const double tp = min_time_ms(
+    const Stats ts =
+        measure_ms(reps, [&] { (void)compute_wavefronts(c.graph); });
+    const Stats tp = measure_ms(
         reps, [&] { (void)compute_wavefronts_parallel(c.graph, team); });
-    std::printf("%-8s %10.3f %10.3f %9.2f\n", c.name.c_str(), ts, tp,
-                ts / tp);
+    std::printf("%-8s %10.3f %10.3f %9.2f\n", c.name.c_str(), ts.min,
+                tp.min, ts.min / tp.min);
+    report.add(c.name, "sort_sequential_ms", ts);
+    report.add(c.name, "sort_parallel_ms", tp);
   }
 
   // --- C: ILU fill level --------------------------------------------------
@@ -70,10 +79,21 @@ int main() {
     kopt.max_iterations = 300;
     WallTimer t;
     const auto res = gmres_solve(team, sys5.a, sys5.rhs, x, &precond, kopt);
+    const double solve_ms = t.elapsed_ms();
     std::printf("%5d %10d %10d %8d %12.1f\n", level,
                 precond.factors().lower().nnz() +
                     precond.factors().upper().nnz(),
-                wf.num_waves, res.iterations, t.elapsed_ms());
+                wf.num_waves, res.iterations, solve_ms);
+    const std::string grp = "ilu_level_" + std::to_string(level);
+    report.add_scalar(grp, "nnz_lu",
+                      precond.factors().lower().nnz() +
+                          precond.factors().upper().nnz(),
+                      "count");
+    report.add_scalar(grp, "waves", wf.num_waves, "count");
+    report.add_scalar(grp, "iterations", res.iterations, "count");
+    // A raw single-rep wall measurement, not a derived estimate: keep it
+    // in the gated "ms" unit.
+    report.add_scalar(grp, "solve_ms", solve_ms, "ms");
   }
 
   // --- E: static vs dynamic self-scheduling + parallel global scheduler --
@@ -86,12 +106,12 @@ int main() {
   for (const auto& c : table23_cases()) {
     const auto s = global_schedule(c.wavefronts, p);
     const auto order = wavefront_sorted_list(c.wavefronts);
-    const double t_static = time_self_lower_ms(team, c, s, reps);
+    const Stats t_static = time_self_lower(team, c, s, reps);
 
     std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
     ReadyFlags ready(c.graph.size());
     const int amp = work_amp();
-    const double t_dynamic = min_time_ms(reps, [&] {
+    const Stats t_dynamic = measure_ms(reps, [&] {
       execute_self_scheduled(team, order, c.graph, ready, [&](index_t i) {
         const auto cs = c.ilu.lower().row_cols(i);
         const auto vs = c.ilu.lower().row_vals(i);
@@ -107,13 +127,17 @@ int main() {
       });
     });
 
-    const double t_sched = min_time_ms(
+    const Stats t_sched = measure_ms(
         reps, [&] { (void)global_schedule(c.wavefronts, p); });
-    const double t_sched_par = min_time_ms(reps, [&] {
+    const Stats t_sched_par = measure_ms(reps, [&] {
       (void)global_schedule_parallel(c.wavefronts, p, team);
     });
     std::printf("%-8s %12.3f %12.3f | %12.3f %12.3f\n", c.name.c_str(),
-                t_static, t_dynamic, t_sched, t_sched_par);
+                t_static.min, t_dynamic.min, t_sched.min, t_sched_par.min);
+    report.add(c.name, "self_static_ms", t_static);
+    report.add(c.name, "self_dynamic_ms", t_dynamic);
+    report.add(c.name, "global_schedule_ms", t_sched);
+    report.add(c.name, "global_schedule_parallel_ms", t_sched_par);
   }
 
   // --- F: windowed hybrid executor ---------------------------------------
@@ -137,7 +161,7 @@ int main() {
       std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
       ReadyFlags ready(c.graph.size());
       const int amp = work_amp();
-      const double ms = min_time_ms(reps, [&] {
+      const Stats win = measure_ms(reps, [&] {
         execute_windowed(team, s, c.graph, ready, w, [&](index_t i) {
           const auto cs = c.ilu.lower().row_cols(i);
           const auto vs = c.ilu.lower().row_vals(i);
@@ -152,7 +176,11 @@ int main() {
           y[static_cast<std::size_t>(i)] = sum;
         });
       });
-      std::printf(" %9.2f", ms);
+      std::printf(" %9.2f", win.min);
+      const std::string metric =
+          (w > (1 << 20)) ? std::string("windowed_winf_ms")
+                          : "windowed_w" + std::to_string(w) + "_ms";
+      report.add(c.name, metric, win);
     }
     std::printf("\n");
   }
@@ -162,9 +190,11 @@ int main() {
   std::printf("%-8s %12s %12s\n", "Problem", "doacross", "self-exec");
   for (const auto& c : table23_cases()) {
     const auto s = global_schedule(c.wavefronts, p);
-    const double td = time_doacross_lower_ms(team, c, reps);
-    const double tse = time_self_lower_ms(team, c, s, reps);
-    std::printf("%-8s %12.3f %12.3f\n", c.name.c_str(), td, tse);
+    const Stats td = time_doacross_lower(team, c, reps);
+    const Stats tse = time_self_lower(team, c, s, reps);
+    std::printf("%-8s %12.3f %12.3f\n", c.name.c_str(), td.min, tse.min);
+    report.add(c.name, "doacross_ms", td);
+    report.add(c.name, "self_exec_reordered_ms", tse);
   }
   return 0;
 }

@@ -1,19 +1,10 @@
 #include "bench_common.hpp"
 
-#include <cstdlib>
-
 #include "core/executors.hpp"
 
 namespace rtl::bench {
 
 namespace {
-
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  const int parsed = std::atoi(v);
-  return parsed > 0 ? parsed : fallback;
-}
 
 /// Forward-substitution body over the case's lower factor, writing into y.
 /// The row update is recomputed `work_amp()` times behind a compiler
@@ -42,12 +33,6 @@ void run_lower(const SolveCase& c, std::vector<real_t>& y, Exec&& exec) {
 
 }  // namespace
 
-int default_procs() { return env_int("RTL_PROCS", 16); }
-
-int default_reps() { return env_int("RTL_REPS", 7); }
-
-int work_amp() { return env_int("RTL_AMP", 4000); }
-
 void do_not_optimize(real_t value) {
   asm volatile("" : : "g"(value) : "memory");
 }
@@ -72,14 +57,14 @@ std::vector<SolveCase> table23_cases() {
   return cases;
 }
 
-double time_sequential_lower_ms(const SolveCase& c, int reps) {
+Stats time_sequential_lower(const SolveCase& c, int reps) {
   // Same amplified body as the parallel runs, executed in natural row
   // order without any schedule indirection or synchronization traffic —
   // the "optimized sequential version".
   std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
   const CsrMatrix& lower = c.ilu.lower();
   const int amp = work_amp();
-  return min_time_ms(reps, [&] {
+  return measure_ms(reps, [&] {
     for (index_t i = 0; i < lower.rows(); ++i) {
       const auto cs = lower.row_cols(i);
       const auto vs = lower.row_vals(i);
@@ -96,77 +81,78 @@ double time_sequential_lower_ms(const SolveCase& c, int reps) {
   });
 }
 
-double time_self_lower_ms(ThreadTeam& team, const SolveCase& c,
-                          const Schedule& s, int reps) {
+Stats time_self_lower(ThreadTeam& team, const SolveCase& c, const Schedule& s,
+                      int reps) {
   std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
   ReadyFlags ready(c.graph.size());
-  return min_time_ms(reps, [&] {
+  return measure_ms(reps, [&] {
     run_lower(c, y, [&](auto&& body) {
       execute_self(team, s, c.graph, ready, body);
     });
   });
 }
 
-double time_prescheduled_lower_ms(ThreadTeam& team, const SolveCase& c,
-                                  const Schedule& s, int reps) {
+Stats time_prescheduled_lower(ThreadTeam& team, const SolveCase& c,
+                              const Schedule& s, int reps) {
   std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
-  return min_time_ms(reps, [&] {
+  return measure_ms(reps, [&] {
     run_lower(c, y,
               [&](auto&& body) { execute_prescheduled(team, s, body); });
   });
 }
 
-double time_doacross_lower_ms(ThreadTeam& team, const SolveCase& c,
-                              int reps) {
+Stats time_doacross_lower(ThreadTeam& team, const SolveCase& c, int reps) {
   std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
   ReadyFlags ready(c.graph.size());
-  return min_time_ms(reps, [&] {
+  return measure_ms(reps, [&] {
     run_lower(c, y, [&](auto&& body) {
       execute_doacross(team, c.graph.size(), c.graph, ready, body);
     });
   });
 }
 
-double time_rotating_self_ms(ThreadTeam& team, const SolveCase& c,
-                             const Schedule& s, int reps) {
+Stats time_rotating_self(ThreadTeam& team, const SolveCase& c,
+                         const Schedule& s, int reps) {
   std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
   ReadyFlags ready(c.graph.size());
-  return min_time_ms(reps, [&] {
+  return measure_ms(reps, [&] {
     run_lower(c, y, [&](auto&& body) {
       execute_rotating_self(team, s, c.graph, ready, body);
     });
   });
 }
 
-double time_rotating_prescheduled_ms(ThreadTeam& team, const SolveCase& c,
-                                     const Schedule& s, int reps) {
+Stats time_rotating_prescheduled(ThreadTeam& team, const SolveCase& c,
+                                 const Schedule& s, int reps) {
   std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
-  return min_time_ms(reps, [&] {
+  return measure_ms(reps, [&] {
     run_lower(c, y, [&](auto&& body) {
       execute_rotating_prescheduled(team, s, body);
     });
   });
 }
 
-double time_one_pe_parallel_self_ms(const SolveCase& c, int reps) {
+Stats time_one_pe_parallel_self(const SolveCase& c, int reps) {
   ThreadTeam solo(1);
   const auto s = global_schedule(c.wavefronts, 1);
-  return time_self_lower_ms(solo, c, s, reps);
+  return time_self_lower(solo, c, s, reps);
 }
 
-double time_one_pe_parallel_prescheduled_ms(const SolveCase& c, int reps) {
+Stats time_one_pe_parallel_prescheduled(const SolveCase& c, int reps) {
   ThreadTeam solo(1);
   const auto s = global_schedule(c.wavefronts, 1);
-  return time_prescheduled_lower_ms(solo, c, s, reps);
+  return time_prescheduled_lower(solo, c, s, reps);
 }
 
-double barrier_cost_ms(ThreadTeam& team) {
+Stats barrier_cost_ms(ThreadTeam& team) {
   constexpr int kEpisodes = 2000;
-  double best = 1e300;
-  for (int rep = 0; rep < 5; ++rep) {
-    best = std::min(best, measure_barrier_ms(team, kEpisodes));
+  constexpr int kReps = 5;
+  std::vector<double> per_episode;
+  per_episode.reserve(kReps);
+  for (int rep = 0; rep < kReps; ++rep) {
+    per_episode.push_back(measure_barrier_ms(team, kEpisodes) / kEpisodes);
   }
-  return best / kEpisodes;
+  return stats_from_samples(per_episode);
 }
 
 }  // namespace rtl::bench

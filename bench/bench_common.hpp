@@ -6,6 +6,7 @@
 #include "core/analysis.hpp"
 #include "core/doconsider.hpp"
 #include "graph/wavefront.hpp"
+#include "report.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
 #include "sparse/ilu.hpp"
@@ -13,23 +14,21 @@
 #include "workload/problems.hpp"
 
 /// Shared machinery for the table/figure reproduction benches.
+///
+/// The environment knobs (`default_procs`/`default_reps`/`work_amp`) and
+/// the JSON reporting layer live in report.hpp; this header adds the
+/// solve-case setup and the timed kernels. All `time_*` helpers return the
+/// full repetition distribution (`Stats`): printed tables use `.min` (the
+/// historical min-of-N convention) and the JSON reports mean/stddev too.
 namespace rtl::bench {
 
-/// Number of "processors" the paper's tables use (16 on the Multimax/320).
-/// Override with the RTL_PROCS environment variable.
-int default_procs();
-
-/// Repetitions for min-time measurements (override with RTL_REPS).
-int default_reps();
-
-/// Per-row work amplification for the triangular-solve benches (override
-/// with RTL_AMP). A 1988 Multimax/320 processor spent tens of microseconds
-/// per row substitution; a modern core finishes one in nanoseconds, which
-/// would flip the compute-to-synchronization cost ratio the paper's §4.2
-/// model is about. Each bench body therefore recomputes its row update
-/// `work_amp()` times (with a compiler barrier), restoring a per-row cost
-/// in the microsecond range. Numerical results are unchanged.
-int work_amp();
+/// Why `work_amp()` exists: a 1988 Multimax/320 processor spent tens of
+/// microseconds per row substitution; a modern core finishes one in
+/// nanoseconds, which would flip the compute-to-synchronization cost ratio
+/// the paper's §4.2 model is about. Each bench body therefore recomputes
+/// its row update `work_amp()` times (with a compiler barrier), restoring
+/// a per-row cost in the microsecond range. Numerical results are
+/// unchanged.
 
 /// Opaque compiler barrier: forces `value` to be materialized.
 void do_not_optimize(real_t value);
@@ -51,31 +50,31 @@ struct SolveCase {
 /// The five problems Tables 2 and 3 analyze.
 std::vector<SolveCase> table23_cases();
 
-/// Time (ms, min of reps) of the sequential forward substitution.
-double time_sequential_lower_ms(const SolveCase& c, int reps);
+/// Wall time (ms over reps) of the sequential forward substitution.
+Stats time_sequential_lower(const SolveCase& c, int reps);
 
-/// Time (ms, min of reps) of one parallel forward substitution under the
+/// Wall time (ms over reps) of one parallel forward substitution under the
 /// given schedule/executor.
-double time_self_lower_ms(ThreadTeam& team, const SolveCase& c,
-                          const Schedule& s, int reps);
-double time_prescheduled_lower_ms(ThreadTeam& team, const SolveCase& c,
-                                  const Schedule& s, int reps);
-double time_doacross_lower_ms(ThreadTeam& team, const SolveCase& c,
-                              int reps);
+Stats time_self_lower(ThreadTeam& team, const SolveCase& c, const Schedule& s,
+                      int reps);
+Stats time_prescheduled_lower(ThreadTeam& team, const SolveCase& c,
+                              const Schedule& s, int reps);
+Stats time_doacross_lower(ThreadTeam& team, const SolveCase& c, int reps);
 
 /// Rotating-processor runs (§5.1.2): every processor executes all
 /// schedules; returns total wall ms (divide by team size for the perfect-
 /// balance per-processor time).
-double time_rotating_self_ms(ThreadTeam& team, const SolveCase& c,
-                             const Schedule& s, int reps);
-double time_rotating_prescheduled_ms(ThreadTeam& team, const SolveCase& c,
-                                     const Schedule& s, int reps);
+Stats time_rotating_self(ThreadTeam& team, const SolveCase& c,
+                         const Schedule& s, int reps);
+Stats time_rotating_prescheduled(ThreadTeam& team, const SolveCase& c,
+                                 const Schedule& s, int reps);
 
 /// Single-processor run of the *parallel* code (1 PE Par. column).
-double time_one_pe_parallel_self_ms(const SolveCase& c, int reps);
-double time_one_pe_parallel_prescheduled_ms(const SolveCase& c, int reps);
+Stats time_one_pe_parallel_self(const SolveCase& c, int reps);
+Stats time_one_pe_parallel_prescheduled(const SolveCase& c, int reps);
 
-/// Per-barrier cost on the team (ms), measured over many episodes.
-double barrier_cost_ms(ThreadTeam& team);
+/// Per-barrier cost on the team (ms), measured over many episodes; one
+/// sample per outer repetition.
+Stats barrier_cost_ms(ThreadTeam& team);
 
 }  // namespace rtl::bench

@@ -13,6 +13,8 @@
 
 #include <cstdio>
 
+#include <string>
+
 #include "bench_common.hpp"
 #include "core/executors.hpp"
 #include "core/partition.hpp"
@@ -27,8 +29,11 @@ int main() {
   prob.name = "65x65 5-pt";
   prob.system = five_point(65, 65);
   const SolveCase c(std::move(prob));
+  Reporter report("bench_fig12");
 
-  const double seq_ms = time_sequential_lower_ms(c, reps);
+  const Stats seq = time_sequential_lower(c, reps);
+  const double seq_ms = seq.min;
+  report.add("65x65 5-pt", "sequential_ms", seq);
   std::printf(
       "Figures 12/13: 65x65 five-point mesh, striped partition, local\n"
       "ordering. Sequential solve: %.3f ms\n\n",
@@ -44,12 +49,23 @@ int main() {
     const auto sym_pre = estimate_prescheduled(s, c.work);
     const auto sym_self = estimate_self_executing(s, c.graph, c.work);
 
-    const double pre_ms = time_prescheduled_lower_ms(team, c, s, reps);
-    const double self_ms = time_self_lower_ms(team, c, s, reps);
+    const Stats pre = time_prescheduled_lower(team, c, s, reps);
+    const Stats self_run = time_self_lower(team, c, s, reps);
+    const double eff_pre = seq_ms / (p * pre.min);
+    const double eff_self = seq_ms / (p * self_run.min);
 
     std::printf("%5d | %12.3f %12.3f | %12.3f %12.3f\n", p,
-                sym_pre.efficiency, sym_self.efficiency,
-                seq_ms / (p * pre_ms), seq_ms / (p * self_ms));
+                sym_pre.efficiency, sym_self.efficiency, eff_pre, eff_self);
+
+    char group[8];
+    std::snprintf(group, sizeof group, "p%02d", p);
+    report.add(group, "prescheduled_ms", pre);
+    report.add(group, "self_exec_ms", self_run);
+    report.add_scalar(group, "sym_eff_prescheduled", sym_pre.efficiency,
+                      "eff");
+    report.add_scalar(group, "sym_eff_self_exec", sym_self.efficiency, "eff");
+    report.add_scalar(group, "measured_eff_prescheduled", eff_pre, "eff");
+    report.add_scalar(group, "measured_eff_self_exec", eff_self, "eff");
   }
 
   std::printf(

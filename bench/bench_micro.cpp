@@ -1,10 +1,18 @@
 // Microbenchmarks (google-benchmark) for the runtime primitives whose
 // costs parameterize the §4.2 model: barrier episodes (T_synch), ready-
 // flag set/check (T_inc / T_check), team dispatch, and the core kernels.
+//
+// A custom main replaces benchmark_main so results also flow through the
+// rtl::bench JSON reporter (one record per benchmark, adjusted real time
+// in the benchmark's own time unit) next to the usual console table.
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
 #include <vector>
+
+#include "report.hpp"
 
 #include "core/executors.hpp"
 #include "core/schedule.hpp"
@@ -113,4 +121,57 @@ void BM_ParDot(benchmark::State& state) {
 }
 BENCHMARK(BM_ParDot)->Arg(1)->Arg(8)->Arg(16);
 
+/// Google Benchmark < 1.8 flags failed runs with `error_occurred`; 1.8
+/// replaced the field with a `skipped` state. Detect the old field and
+/// treat its absence as "not failed" (our benchmarks never skip).
+template <class R>
+auto run_errored(const R& r, int) -> decltype(r.error_occurred) {
+  return r.error_occurred;
+}
+template <class R>
+bool run_errored(const R&, long) {
+  return false;
+}
+
+/// Console reporter that additionally collects per-run results keyed by
+/// benchmark name, so `--benchmark_repetitions=N` folds into one JSON
+/// record with N-rep stats instead of N duplicate (group, metric) keys.
+class CollectingReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration || run_errored(r, 0)) continue;
+      Entry& e = samples_[r.benchmark_name()];
+      e.unit = benchmark::GetTimeUnitString(r.time_unit);
+      e.values.push_back(r.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void emit(rtl::bench::Reporter& out) const {
+    for (const auto& [name, e] : samples_) {
+      out.add("micro", name, rtl::bench::stats_from_samples(e.values),
+              e.unit);
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string unit;
+    std::vector<double> values;
+  };
+  std::map<std::string, Entry> samples_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  rtl::bench::Reporter report("bench_micro");
+  CollectingReporter display;
+  benchmark::RunSpecifiedBenchmarks(&display);
+  display.emit(report);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,8 @@
 
 #include <cstdio>
 
+#include <string>
+
 #include "bench_common.hpp"
 #include "core/executors.hpp"
 #include "core/schedule.hpp"
@@ -14,6 +16,7 @@ int main() {
   using namespace rtl;
   using namespace rtl::bench;
   const int reps = default_reps();
+  Reporter report("bench_model");
 
   std::printf("Model problem: m x n five-point mesh, unit work per point\n\n");
   std::printf("%4s %4s %3s | %10s %10s %10s | %10s %10s\n", "m", "n", "p",
@@ -39,6 +42,16 @@ int main() {
                   m, n, p, prescheduled_eopt_exact(m, n, p),
                   prescheduled_eopt_approx(m, n, p), sim_pre.efficiency,
                   self_executing_eopt(m, n, p), sim_self.efficiency);
+      const std::string g = "mesh" + std::to_string(m) + "x" +
+                            std::to_string(n) + "_p" + std::to_string(p);
+      report.add_scalar(g, "e_prescheduled_exact",
+                        prescheduled_eopt_exact(m, n, p), "eff");
+      report.add_scalar(g, "e_prescheduled_eq4",
+                        prescheduled_eopt_approx(m, n, p), "eff");
+      report.add_scalar(g, "e_prescheduled_sim", sim_pre.efficiency, "eff");
+      report.add_scalar(g, "e_self_exec_eq5", self_executing_eopt(m, n, p),
+                        "eff");
+      report.add_scalar(g, "e_self_exec_sim", sim_self.efficiency, "eff");
     }
   }
 
@@ -59,10 +72,16 @@ int main() {
     const SolveCase c(std::move(prob));
     ThreadTeam team(p);
     const auto s = global_schedule(c.wavefronts, p);
-    const double pre_ms = time_prescheduled_lower_ms(team, c, s, reps);
-    const double self_ms = time_self_lower_ms(team, c, s, reps);
-    std::printf("%5dx%-5d %3d | %9.3f %9.3f | %14.2f\n", m, n, p, pre_ms,
-                self_ms, pre_ms / self_ms);
+    const Stats pre = time_prescheduled_lower(team, c, s, reps);
+    const Stats self_run = time_self_lower(team, c, s, reps);
+    std::printf("%5dx%-5d %3d | %9.3f %9.3f | %14.2f\n", m, n, p, pre.min,
+                self_run.min, pre.min / self_run.min);
+    const std::string g =
+        "measured_" + std::to_string(m) + "x" + std::to_string(n);
+    report.add(g, "prescheduled_ms", pre);
+    report.add(g, "self_exec_ms", self_run);
+    report.add_scalar(g, "prescheduled_over_self_ratio",
+                      pre.min / self_run.min, "ratio");
   }
 
   // Limits (equations 6 and 7) for a plausible ratio regime.
@@ -73,6 +92,10 @@ int main() {
       "  square domains (m = n,  eq. 7)          : %.3f  (< 1: P.S. wins)\n",
       r.r_synch, r.r_inc, r.r_check, p, time_ratio_limit_narrow(p, r),
       time_ratio_limit_square(r));
+  report.add_scalar("limits", "narrow_ratio_limit_p" + std::to_string(p),
+                    time_ratio_limit_narrow(p, r), "ratio");
+  report.add_scalar("limits", "square_ratio_limit",
+                    time_ratio_limit_square(r), "ratio");
 
   // Dense-triangular extreme (§4.2's closing example).
   std::printf(
@@ -80,6 +103,10 @@ int main() {
       "  self-executing E_opt : %.3f (approaches 1/2)\n"
       "  pre-scheduled  E_opt : %.4f (approaches 0: no parallelism)\n",
       dense_self_executing_eopt(64), dense_prescheduled_eopt(64));
+  report.add_scalar("dense64", "self_exec_eopt", dense_self_executing_eopt(64),
+                    "eff");
+  report.add_scalar("dense64", "prescheduled_eopt",
+                    dense_prescheduled_eopt(64), "eff");
 
   std::printf(
       "\nExpected shape: E_ps(sim) == E_ps(exact); E_se(sim) == E_se(eq.5);\n"

@@ -83,7 +83,7 @@ class AmplifiedIluPreconditioner final : public Preconditioner {
 };
 
 struct Run {
-  double ms = 0.0;
+  Stats ms;
   int iterations = 0;
   bool converged = false;
 };
@@ -94,26 +94,28 @@ Run timed_solve(ThreadTeam& team, const TestProblem& prob,
   opts.execution = exec;
   AmplifiedIluPreconditioner precond(team, prob.system.a, opts);
   Run out;
-  out.ms = 1e300;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     std::vector<real_t> x(static_cast<std::size_t>(prob.system.a.rows()),
                           0.0);
     WallTimer t;
     const auto res =
         gmres_solve(team, prob.system.a, prob.system.rhs, x, &precond, kopt);
-    out.ms = std::min(out.ms, t.elapsed_ms());
+    samples.push_back(t.elapsed_ms());
     out.iterations = res.iterations;
     out.converged = res.converged;
   }
+  out.ms = stats_from_samples(samples);
   return out;
 }
 
 /// Inspector (topological sort + schedule) time for the problem's lower
 /// solve graph.
-double inspector_ms(const TestProblem& prob, int p, int reps) {
+Stats inspector_stats(const TestProblem& prob, int p, int reps) {
   IluFactorization ilu(prob.system.a, 0);
   const auto g = lower_solve_dependences(ilu.lower());
-  return min_time_ms(reps, [&] {
+  return measure_ms(reps, [&] {
     const auto wf = compute_wavefronts(g);
     const auto s = global_schedule(wf, p);
     (void)s;
@@ -139,6 +141,7 @@ int main() {
   kopt.rtol = 1e-8;
   kopt.max_iterations = 120;
 
+  Reporter report("bench_table1");
   std::printf(
       "Table 1: PCGPAK-analogue solves, %d processors "
       "(per-row amplification x%d)\n\n",
@@ -155,15 +158,29 @@ int main() {
                                 kopt, reps);
     const auto ps = timed_solve(team, prob, ExecutionPolicy::kPreScheduled,
                                 kopt, reps);
-    const double sort_ms = inspector_ms(prob, p, reps);
+    const Stats sort = inspector_stats(prob, p, reps);
+    const double eff_se = seq.ms.min / (p * se.ms.min);
+    const double eff_ps = seq.ms.min / (p * ps.ms.min);
 
     std::printf(
         "%-8s %6d %5d | %9.1f | %9.1f %6.2f | %9.1f %6.2f | %9.2f%s\n",
-        prob.name.c_str(), prob.system.a.rows(), se.iterations, seq.ms,
-        se.ms, seq.ms / (p * se.ms), ps.ms, seq.ms / (p * ps.ms), sort_ms,
+        prob.name.c_str(), prob.system.a.rows(), se.iterations, seq.ms.min,
+        se.ms.min, eff_se, ps.ms.min, eff_ps, sort.min,
         (se.converged && ps.converged && seq.converged)
             ? ""
             : "  [hit iteration cap]");
+
+    report.add_scalar(prob.name, "n", prob.system.a.rows(), "count");
+    report.add_scalar(prob.name, "iterations", se.iterations, "count");
+    report.add_scalar(prob.name, "converged",
+                      (se.converged && ps.converged && seq.converged) ? 1 : 0,
+                      "bool");
+    report.add(prob.name, "seq_solve_ms", seq.ms);
+    report.add(prob.name, "self_exec_solve_ms", se.ms);
+    report.add(prob.name, "prescheduled_solve_ms", ps.ms);
+    report.add(prob.name, "inspector_sort_ms", sort);
+    report.add_scalar(prob.name, "efficiency_self_exec", eff_se, "eff");
+    report.add_scalar(prob.name, "efficiency_prescheduled", eff_ps, "eff");
   }
 
   std::printf(

@@ -17,6 +17,7 @@ int main() {
   const int p = default_procs();
   const int reps = default_reps();
   ThreadTeam team(p);
+  Reporter report("bench_table2");
 
   std::printf("Table 2: self-executing triangular solves, %d processors\n\n",
               p);
@@ -30,22 +31,36 @@ int main() {
     const auto s = global_schedule(c.wavefronts, p);
     const auto sym = estimate_self_executing(s, c.graph, c.work);
 
-    const double seq_ms = time_sequential_lower_ms(c, reps);
-    const double par_ms = time_self_lower_ms(team, c, s, reps);
-    const double rot_ms = time_rotating_self_ms(team, c, s, reps);
-    const double one_pe_par_ms = time_one_pe_parallel_self_ms(c, reps);
-    const double doacross_ms = time_doacross_lower_ms(team, c, reps);
+    const Stats seq = time_sequential_lower(c, reps);
+    const Stats par = time_self_lower(team, c, s, reps);
+    const Stats rot = time_rotating_self(team, c, s, reps);
+    const Stats one_pe_par = time_one_pe_parallel_self(c, reps);
+    const Stats doacross = time_doacross_lower(team, c, reps);
 
     // §5.1.2 estimates: divide the perfectly-balanced per-processor time
     // (or single-processor time) by p * symbolic efficiency.
-    const double rotating_estimate = rot_ms / (p * sym.efficiency);
-    const double one_pe_par_estimate = one_pe_par_ms / (p * sym.efficiency);
-    const double one_pe_seq_estimate = seq_ms / (p * sym.efficiency);
+    const double rotating_estimate = rot.min / (p * sym.efficiency);
+    const double one_pe_par_estimate = one_pe_par.min / (p * sym.efficiency);
+    const double one_pe_seq_estimate = seq.min / (p * sym.efficiency);
 
     std::printf("%-8s %7d %9.2f %9.3f %9.3f %9.3f %8.3f %8.3f %10.3f\n",
                 c.name.c_str(), c.wavefronts.num_waves, sym.efficiency,
-                par_ms, rotating_estimate, one_pe_par_estimate,
-                one_pe_seq_estimate, seq_ms, doacross_ms);
+                par.min, rotating_estimate, one_pe_par_estimate,
+                one_pe_seq_estimate, seq.min, doacross.min);
+
+    report.add_scalar(c.name, "phases", c.wavefronts.num_waves, "count");
+    report.add_scalar(c.name, "symbolic_efficiency", sym.efficiency, "eff");
+    report.add(c.name, "parallel_ms", par);
+    report.add(c.name, "rotating_ms", rot);
+    report.add(c.name, "one_pe_parallel_ms", one_pe_par);
+    report.add(c.name, "sequential_ms", seq);
+    report.add(c.name, "doacross_ms", doacross);
+    report.add_scalar(c.name, "rotating_estimate_ms", rotating_estimate,
+                      "ms-derived");
+    report.add_scalar(c.name, "one_pe_parallel_estimate_ms",
+                      one_pe_par_estimate, "ms-derived");
+    report.add_scalar(c.name, "one_pe_sequential_estimate_ms",
+                      one_pe_seq_estimate, "ms-derived");
   }
 
   std::printf(

@@ -17,8 +17,11 @@ int main() {
   const int p = default_procs();
   const int reps = default_reps();
   ThreadTeam team(p);
+  Reporter report("bench_table3");
 
-  const double barrier_ms = barrier_cost_ms(team);
+  const Stats barrier = barrier_cost_ms(team);
+  const double barrier_ms = barrier.min;
+  report.add("team", "barrier_per_episode_ms", barrier);
   std::printf(
       "Table 3: pre-scheduled triangular solves, %d processors "
       "(barrier cost: %.4f ms)\n\n",
@@ -32,22 +35,34 @@ int main() {
     const auto s = global_schedule(c.wavefronts, p);
     const auto sym = estimate_prescheduled(s, c.work);
 
-    const double seq_ms = time_sequential_lower_ms(c, reps);
-    const double par_ms = time_prescheduled_lower_ms(team, c, s, reps);
-    const double rot_ms = time_rotating_prescheduled_ms(team, c, s, reps);
-    const double one_pe_par_ms =
-        time_one_pe_parallel_prescheduled_ms(c, reps);
+    const Stats seq = time_sequential_lower(c, reps);
+    const Stats par = time_prescheduled_lower(team, c, s, reps);
+    const Stats rot = time_rotating_prescheduled(team, c, s, reps);
+    const Stats one_pe_par = time_one_pe_parallel_prescheduled(c, reps);
 
     const double rotating_estimate =
-        rot_ms / (p * sym.efficiency) +
+        rot.min / (p * sym.efficiency) +
         barrier_ms * static_cast<double>(c.wavefronts.num_waves);
-    const double one_pe_par_estimate = one_pe_par_ms / (p * sym.efficiency);
-    const double one_pe_seq_estimate = seq_ms / (p * sym.efficiency);
+    const double one_pe_par_estimate = one_pe_par.min / (p * sym.efficiency);
+    const double one_pe_seq_estimate = seq.min / (p * sym.efficiency);
 
     std::printf("%-8s %7d %9.2f %9.3f %11.3f %9.3f %8.3f %8.3f\n",
                 c.name.c_str(), c.wavefronts.num_waves, sym.efficiency,
-                par_ms, rotating_estimate, one_pe_par_estimate,
-                one_pe_seq_estimate, seq_ms);
+                par.min, rotating_estimate, one_pe_par_estimate,
+                one_pe_seq_estimate, seq.min);
+
+    report.add_scalar(c.name, "phases", c.wavefronts.num_waves, "count");
+    report.add_scalar(c.name, "symbolic_efficiency", sym.efficiency, "eff");
+    report.add(c.name, "parallel_ms", par);
+    report.add(c.name, "rotating_ms", rot);
+    report.add(c.name, "one_pe_parallel_ms", one_pe_par);
+    report.add(c.name, "sequential_ms", seq);
+    report.add_scalar(c.name, "rotating_plus_barrier_estimate_ms",
+                      rotating_estimate, "ms-derived");
+    report.add_scalar(c.name, "one_pe_parallel_estimate_ms",
+                      one_pe_par_estimate, "ms-derived");
+    report.add_scalar(c.name, "one_pe_sequential_estimate_ms",
+                      one_pe_seq_estimate, "ms-derived");
   }
 
   std::printf(

@@ -9,6 +9,7 @@
 // balance: seq_time / rotating_time.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/executors.hpp"
@@ -20,7 +21,10 @@ int main() {
   const int p_meas = default_procs();
   const int reps = default_reps();
   ThreadTeam team(p_meas);
-  const double barrier_ms = barrier_cost_ms(team);
+  Reporter report("bench_table4");
+  const Stats barrier = barrier_cost_ms(team);
+  const double barrier_ms = barrier.min;
+  report.add("team", "barrier_per_episode_ms", barrier);
 
   const int projections[] = {p_meas, 2 * p_meas, 4 * p_meas};
 
@@ -35,11 +39,15 @@ int main() {
 
   for (const auto& c : table23_cases()) {
     const auto s_meas = global_schedule(c.wavefronts, p_meas);
-    const double seq_ms = time_sequential_lower_ms(c, reps);
-    const double rot_self_ms =
-        time_rotating_self_ms(team, c, s_meas, reps);
-    const double rot_pre_ms =
-        time_rotating_prescheduled_ms(team, c, s_meas, reps);
+    const Stats seq = time_sequential_lower(c, reps);
+    const Stats rot_self = time_rotating_self(team, c, s_meas, reps);
+    const Stats rot_pre = time_rotating_prescheduled(team, c, s_meas, reps);
+    const double seq_ms = seq.min;
+    const double rot_self_ms = rot_self.min;
+    const double rot_pre_ms = rot_pre.min;
+    report.add(c.name, "sequential_ms", seq);
+    report.add(c.name, "rotating_self_exec_ms", rot_self);
+    report.add(c.name, "rotating_prescheduled_ms", rot_pre);
 
     // Perfect-load-balance efficiencies: every processor does all the work
     // in the rotating run, so per-processor perfectly-balanced time is
@@ -50,6 +58,8 @@ int main() {
                                    static_cast<double>(c.wavefronts.num_waves));
 
     std::printf("%-8s %6.2f %6.2f |", c.name.c_str(), best_self, best_pre);
+    report.add_scalar(c.name, "best_eff_self_exec", best_self, "eff");
+    report.add_scalar(c.name, "best_eff_prescheduled", best_pre, "eff");
     for (const int p : projections) {
       const auto s = global_schedule(c.wavefronts, p);
       const auto sym_self = estimate_self_executing(s, c.graph, c.work);
@@ -59,6 +69,12 @@ int main() {
       const double eff_self = best_self * sym_self.efficiency;
       const double eff_pre = best_pre * sym_pre.efficiency;
       std::printf("  %10.2f %5.2f |", eff_self, eff_pre);
+      report.add_scalar(c.name,
+                        "projected_eff_self_exec_p" + std::to_string(p),
+                        eff_self, "eff");
+      report.add_scalar(c.name,
+                        "projected_eff_prescheduled_p" + std::to_string(p),
+                        eff_pre, "eff");
     }
     std::printf("\n");
   }

@@ -55,6 +55,7 @@ int main() {
   const int p = default_procs();
   const int reps = default_reps();
   ThreadTeam team(p);
+  Reporter report("bench_table5");
 
   std::printf(
       "Table 5: index-set scheduling costs and run times, %d processors\n\n",
@@ -71,31 +72,40 @@ int main() {
   cases.push_back(mesh_case());
 
   for (const auto& c : cases) {
-    const double seq_ms = time_sequential_lower_ms(c, reps);
+    const Stats seq = time_sequential_lower(c, reps);
     // Unamplified solve: the honest yardstick for the paper's claim that
     // one sequential sort costs slightly less than one sequential solve.
     std::vector<real_t> y1x(static_cast<std::size_t>(c.graph.size()));
-    const double seq1x_ms = min_time_ms(
+    const Stats seq1x = measure_ms(
         reps, [&] { solve_lower_unit(c.ilu.lower(), c.system.rhs, y1x); });
-    const double seq_sort_ms =
-        min_time_ms(reps, [&] { (void)compute_wavefronts(c.graph); });
-    const double par_sort_ms = min_time_ms(
+    const Stats seq_sort =
+        measure_ms(reps, [&] { (void)compute_wavefronts(c.graph); });
+    const Stats par_sort = measure_ms(
         reps, [&] { (void)compute_wavefronts_parallel(c.graph, team); });
-    const double glob_arrange_ms = min_time_ms(
+    const Stats glob_arrange = measure_ms(
         reps, [&] { (void)global_schedule(c.wavefronts, p); });
     const auto part = wrapped_partition(c.graph.size(), p);
-    const double loc_sort_ms = min_time_ms(
+    const Stats loc_sort = measure_ms(
         reps, [&] { (void)local_schedule(c.wavefronts, part); });
 
     const auto sg = global_schedule(c.wavefronts, p);
     const auto sl = local_schedule(c.wavefronts, part);
-    const double run_glob_ms = time_self_lower_ms(team, c, sg, reps);
-    const double run_loc_ms = time_self_lower_ms(team, c, sl, reps);
+    const Stats run_glob = time_self_lower(team, c, sg, reps);
+    const Stats run_loc = time_self_lower(team, c, sl, reps);
 
     std::printf(
         "%-10s %8.2f %8.3f %8.3f %8.3f %9.3f %8.3f | %9.2f %9.2f\n",
-        c.name.c_str(), seq_ms, seq1x_ms, seq_sort_ms, par_sort_ms,
-        glob_arrange_ms, loc_sort_ms, run_glob_ms, run_loc_ms);
+        c.name.c_str(), seq.min, seq1x.min, seq_sort.min, par_sort.min,
+        glob_arrange.min, loc_sort.min, run_glob.min, run_loc.min);
+
+    report.add(c.name, "sequential_ms", seq);
+    report.add(c.name, "sequential_unamplified_ms", seq1x);
+    report.add(c.name, "sequential_sort_ms", seq_sort);
+    report.add(c.name, "parallel_sort_ms", par_sort);
+    report.add(c.name, "global_arrange_ms", glob_arrange);
+    report.add(c.name, "local_sort_ms", loc_sort);
+    report.add(c.name, "run_global_schedule_ms", run_glob);
+    report.add(c.name, "run_local_schedule_ms", run_loc);
   }
 
   std::printf(

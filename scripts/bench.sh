@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Run the full bench suite with pinned knobs and write one machine-tagged
+# JSON baseline (default: BENCH_baseline.json at the repo root).
+#
+# Usage: scripts/bench.sh [options]
+#   --smoke         fast sanity run (RTL_PROCS=2 RTL_REPS=1 RTL_AMP=20,
+#                   short Google-Benchmark min time) — exercises the whole
+#                   harness in CI; numbers are NOT comparable to a real
+#                   baseline
+#   --out FILE      output path (default: <repo>/BENCH_baseline.json for a
+#                   full run; BENCH_smoke.json / BENCH_partial.json for
+#                   --smoke / --only runs, so they never clobber the
+#                   committed baseline)
+#   --build-dir DIR build directory (default: <repo>/build)
+#   --skip-build    do not (re)configure/build first
+#   --only SUBSTR   run only drivers whose name contains SUBSTR (the
+#                   merged file still records the others as skipped)
+#
+# Knobs: RTL_PROCS/RTL_REPS/RTL_AMP already present in the environment are
+# respected; otherwise the pinned defaults below are exported so a baseline
+# captured on one machine is reproducible on it. See docs/PERF.md for the
+# pinned-knob conventions and docs/BENCHMARKS.md for the JSON schema.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build"
+OUT=""
+SMOKE=0
+SKIP_BUILD=0
+ONLY=""
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --out) OUT="$2"; shift ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    --skip-build) SKIP_BUILD=1 ;;
+    --only) ONLY="$2"; shift ;;
+    -h|--help)
+      # Print the whole leading comment block (minus the shebang).
+      awk 'NR > 1 && /^#/ { sub(/^# ?/, ""); print; next } NR > 1 { exit }' "$0"
+      exit 0 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+# Only a full, unfiltered run may default to the committed baseline path;
+# smoke and --only runs produce non-comparable data and must not clobber it.
+if [ -z "$OUT" ]; then
+  if [ "$SMOKE" = 1 ]; then
+    OUT="$REPO_ROOT/BENCH_smoke.json"
+  elif [ -n "$ONLY" ]; then
+    OUT="$REPO_ROOT/BENCH_partial.json"
+  else
+    OUT="$REPO_ROOT/BENCH_baseline.json"
+  fi
+fi
+
+# bench_table1 presets its own lighter RTL_AMP (1000 — full Krylov solves
+# amplify per iteration) when the variable is absent from the environment.
+# Only an RTL_AMP the caller pinned explicitly (or smoke mode) may override
+# that preset; the script's own pinned default must not leak into table1.
+AMP_EXPLICIT=0
+if [ -n "${RTL_AMP:-}" ] || [ "$SMOKE" = 1 ]; then
+  AMP_EXPLICIT=1
+fi
+
+GBENCH_ARGS=()
+if [ "$SMOKE" = 1 ]; then
+  : "${RTL_PROCS:=2}"
+  : "${RTL_REPS:=1}"
+  : "${RTL_AMP:=20}"
+  GBENCH_ARGS+=(--benchmark_min_time=0.01)
+else
+  # The paper's configuration: 16 processors, min-of-7 timings, per-row
+  # amplification calibrated to the 1988 machine.
+  : "${RTL_PROCS:=16}"
+  : "${RTL_REPS:=7}"
+  : "${RTL_AMP:=4000}"
+fi
+export RTL_PROCS RTL_REPS RTL_AMP
+
+RTL_GIT_SHA="$(git -C "$REPO_ROOT" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+export RTL_GIT_SHA
+
+if [ "$SKIP_BUILD" != 1 ]; then
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake --build "$BUILD_DIR" -j"$(nproc)"
+fi
+
+# All nine drivers; a missing binary (bench_micro without Google Benchmark)
+# is recorded as skipped rather than silently omitted.
+DRIVERS="bench_table1 bench_table2 bench_table3 bench_table4 bench_table5 \
+bench_fig12 bench_model bench_ablation bench_micro"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "bench.sh: RTL_PROCS=$RTL_PROCS RTL_REPS=$RTL_REPS RTL_AMP=$RTL_AMP" \
+     "sha=$RTL_GIT_SHA$( [ "$SMOKE" = 1 ] && echo ' (SMOKE MODE)')"
+
+PARTS=()
+for d in $DRIVERS; do
+  json="$TMP/$d.json"
+  bin="$BUILD_DIR/$d"
+  if [ -n "$ONLY" ] && [ "${d#*"$ONLY"}" = "$d" ]; then
+    python3 "$REPO_ROOT/scripts/compare_bench.py" --emit-skipped "$d" \
+      "filtered out by --only $ONLY" > "$json"
+  elif [ ! -x "$bin" ]; then
+    echo "== $d: binary missing — recording as skipped =="
+    python3 "$REPO_ROOT/scripts/compare_bench.py" --emit-skipped "$d" \
+      "binary not built (Google Benchmark missing at configure time?)" > "$json"
+  else
+    echo "== $d =="
+    if [ "$d" = bench_micro ]; then
+      RTL_BENCH_JSON="$json" "$bin" ${GBENCH_ARGS+"${GBENCH_ARGS[@]}"}
+    elif [ "$d" = bench_table1 ] && [ "$AMP_EXPLICIT" = 0 ]; then
+      RTL_BENCH_JSON="$json" env -u RTL_AMP "$bin"
+    else
+      RTL_BENCH_JSON="$json" "$bin"
+    fi
+  fi
+  PARTS+=("$json")
+done
+
+python3 "$REPO_ROOT/scripts/compare_bench.py" --merge "$OUT" "${PARTS[@]}"
+echo "wrote $OUT"
