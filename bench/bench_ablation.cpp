@@ -3,14 +3,16 @@
 //  B. inspector parallelization (sequential vs striped busy-wait sweep),
 //  C. ILU fill level (preconditioner quality vs triangular-solve shape),
 //  D. schedule indirection (doacross vs reordered self-executing loop).
+// Every executor run goes through `Plan::execute` — the executor shape
+// (including the self-scheduled and windowed extensions) is selected by
+// `DoconsiderOptions` alone.
 
 #include <cstdio>
 
 #include <string>
 
 #include "bench_common.hpp"
-#include "core/executors.hpp"
-#include "core/partition.hpp"
+#include "core/plan.hpp"
 #include "core/schedule.hpp"
 #include "solver/ilu_preconditioner.hpp"
 #include "solver/krylov.hpp"
@@ -23,20 +25,27 @@ int main() {
   ThreadTeam team(p);
   Reporter report("bench_ablation");
 
+  DoconsiderOptions self_opts;
+  self_opts.execution = ExecutionPolicy::kSelfExecuting;
+
   // --- A: wrapped vs block partition under local scheduling -------------
   std::printf("A. Local scheduling partition shape (%d procs, self-exec)\n",
               p);
   std::printf("%-8s %12s %12s %14s %14s\n", "Problem", "wrap (ms)",
               "block (ms)", "E_sym(wrap)", "E_sym(block)");
   for (const auto& c : table23_cases()) {
-    const auto sw =
-        local_schedule(c.wavefronts, wrapped_partition(c.graph.size(), p));
-    const auto sb =
-        local_schedule(c.wavefronts, block_partition(c.graph.size(), p));
-    const Stats tw = time_self_lower(team, c, sw, reps);
-    const Stats tb = time_self_lower(team, c, sb, reps);
-    const auto ew = estimate_self_executing(sw, c.graph, c.work);
-    const auto eb = estimate_self_executing(sb, c.graph, c.work);
+    DoconsiderOptions wrap_opts = self_opts;
+    wrap_opts.scheduling = SchedulingPolicy::kLocalWrapped;
+    DoconsiderOptions block_opts = self_opts;
+    block_opts.scheduling = SchedulingPolicy::kLocalBlock;
+    const Plan wrap_plan(team, DependenceGraph(c.graph), wrap_opts);
+    const Plan block_plan(team, DependenceGraph(c.graph), block_opts);
+    const Stats tw = time_lower(team, c, wrap_plan, reps);
+    const Stats tb = time_lower(team, c, block_plan, reps);
+    const auto ew =
+        estimate_self_executing(wrap_plan.schedule(), c.graph, c.work);
+    const auto eb =
+        estimate_self_executing(block_plan.schedule(), c.graph, c.work);
     std::printf("%-8s %12.3f %12.3f %14.3f %14.3f\n", c.name.c_str(),
                 tw.min, tb.min, ew.efficiency, eb.efficiency);
     report.add(c.name, "partition_wrapped_ms", tw);
@@ -104,28 +113,12 @@ int main() {
   std::printf("%-8s %12s %12s | %12s %12s\n", "Problem", "static(ms)",
               "dynamic(ms)", "globsched", "globsched-par");
   for (const auto& c : table23_cases()) {
-    const auto s = global_schedule(c.wavefronts, p);
-    const auto order = wavefront_sorted_list(c.wavefronts);
-    const Stats t_static = time_self_lower(team, c, s, reps);
-
-    std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
-    ReadyFlags ready(c.graph.size());
-    const int amp = work_amp();
-    const Stats t_dynamic = measure_ms(reps, [&] {
-      execute_self_scheduled(team, order, c.graph, ready, [&](index_t i) {
-        const auto cs = c.ilu.lower().row_cols(i);
-        const auto vs = c.ilu.lower().row_vals(i);
-        real_t sum = 0.0;
-        for (int rep = 0; rep < amp; ++rep) {
-          sum = c.system.rhs[static_cast<std::size_t>(i)];
-          for (std::size_t k = 0; k < cs.size(); ++k) {
-            sum -= vs[k] * y[static_cast<std::size_t>(cs[k])];
-          }
-          do_not_optimize(sum);
-        }
-        y[static_cast<std::size_t>(i)] = sum;
-      });
-    });
+    const Plan static_plan(team, DependenceGraph(c.graph), self_opts);
+    DoconsiderOptions dyn_opts;
+    dyn_opts.execution = ExecutionPolicy::kSelfScheduled;
+    const Plan dyn_plan(team, DependenceGraph(c.graph), dyn_opts);
+    const Stats t_static = time_lower(team, c, static_plan, reps);
+    const Stats t_dynamic = time_lower(team, c, dyn_plan, reps);
 
     const Stats t_sched = measure_ms(
         reps, [&] { (void)global_schedule(c.wavefronts, p); });
@@ -155,27 +148,13 @@ int main() {
   }
   std::printf("\n");
   for (const auto& c : table23_cases()) {
-    const auto s = global_schedule(c.wavefronts, p);
     std::printf("%-8s", c.name.c_str());
     for (const index_t w : windows) {
-      std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
-      ReadyFlags ready(c.graph.size());
-      const int amp = work_amp();
-      const Stats win = measure_ms(reps, [&] {
-        execute_windowed(team, s, c.graph, ready, w, [&](index_t i) {
-          const auto cs = c.ilu.lower().row_cols(i);
-          const auto vs = c.ilu.lower().row_vals(i);
-          real_t sum = 0.0;
-          for (int rep = 0; rep < amp; ++rep) {
-            sum = c.system.rhs[static_cast<std::size_t>(i)];
-            for (std::size_t k = 0; k < cs.size(); ++k) {
-              sum -= vs[k] * y[static_cast<std::size_t>(cs[k])];
-            }
-            do_not_optimize(sum);
-          }
-          y[static_cast<std::size_t>(i)] = sum;
-        });
-      });
+      DoconsiderOptions win_opts;
+      win_opts.execution = ExecutionPolicy::kWindowed;
+      win_opts.window = w;
+      const Plan win_plan(team, DependenceGraph(c.graph), win_opts);
+      const Stats win = time_lower(team, c, win_plan, reps);
       std::printf(" %9.2f", win.min);
       const std::string metric =
           (w > (1 << 20)) ? std::string("windowed_winf_ms")
@@ -189,9 +168,12 @@ int main() {
   std::printf("\nD. Doacross vs self-executing (reordered) loop (ms)\n");
   std::printf("%-8s %12s %12s\n", "Problem", "doacross", "self-exec");
   for (const auto& c : table23_cases()) {
-    const auto s = global_schedule(c.wavefronts, p);
-    const Stats td = time_doacross_lower(team, c, reps);
-    const Stats tse = time_self_lower(team, c, s, reps);
+    DoconsiderOptions doacross_opts;
+    doacross_opts.execution = ExecutionPolicy::kDoAcross;
+    const Plan doacross_plan(team, DependenceGraph(c.graph), doacross_opts);
+    const Plan self_plan(team, DependenceGraph(c.graph), self_opts);
+    const Stats td = time_lower(team, c, doacross_plan, reps);
+    const Stats tse = time_lower(team, c, self_plan, reps);
     std::printf("%-8s %12.3f %12.3f\n", c.name.c_str(), td.min, tse.min);
     report.add(c.name, "doacross_ms", td);
     report.add(c.name, "self_exec_reordered_ms", tse);

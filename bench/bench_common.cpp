@@ -1,6 +1,6 @@
 #include "bench_common.hpp"
 
-#include "core/executors.hpp"
+#include "model/calibration.hpp"
 
 namespace rtl::bench {
 
@@ -81,67 +81,23 @@ Stats time_sequential_lower(const SolveCase& c, int reps) {
   });
 }
 
-Stats time_self_lower(ThreadTeam& team, const SolveCase& c, const Schedule& s,
-                      int reps) {
+Stats time_lower(ThreadTeam& team, const SolveCase& c, const Plan& plan,
+                 int reps) {
   std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
-  ReadyFlags ready(c.graph.size());
-  return measure_ms(reps, [&] {
-    run_lower(c, y, [&](auto&& body) {
-      execute_self(team, s, c.graph, ready, body);
-    });
-  });
-}
-
-Stats time_prescheduled_lower(ThreadTeam& team, const SolveCase& c,
-                              const Schedule& s, int reps) {
-  std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
+  // One explicit ExecState reused across reps, so the measured loop pays
+  // neither the state-pool handshake nor a ready-array allocation.
+  ExecState state(plan);
   return measure_ms(reps, [&] {
     run_lower(c, y,
-              [&](auto&& body) { execute_prescheduled(team, s, body); });
+              [&](auto&& body) { plan.execute(team, body, state); });
   });
 }
 
-Stats time_doacross_lower(ThreadTeam& team, const SolveCase& c, int reps) {
-  std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
-  ReadyFlags ready(c.graph.size());
-  return measure_ms(reps, [&] {
-    run_lower(c, y, [&](auto&& body) {
-      execute_doacross(team, c.graph.size(), c.graph, ready, body);
-    });
-  });
-}
-
-Stats time_rotating_self(ThreadTeam& team, const SolveCase& c,
-                         const Schedule& s, int reps) {
-  std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
-  ReadyFlags ready(c.graph.size());
-  return measure_ms(reps, [&] {
-    run_lower(c, y, [&](auto&& body) {
-      execute_rotating_self(team, s, c.graph, ready, body);
-    });
-  });
-}
-
-Stats time_rotating_prescheduled(ThreadTeam& team, const SolveCase& c,
-                                 const Schedule& s, int reps) {
-  std::vector<real_t> y(static_cast<std::size_t>(c.graph.size()));
-  return measure_ms(reps, [&] {
-    run_lower(c, y, [&](auto&& body) {
-      execute_rotating_prescheduled(team, s, body);
-    });
-  });
-}
-
-Stats time_one_pe_parallel_self(const SolveCase& c, int reps) {
+Stats time_one_pe_parallel(const SolveCase& c, DoconsiderOptions opts,
+                           int reps) {
   ThreadTeam solo(1);
-  const auto s = global_schedule(c.wavefronts, 1);
-  return time_self_lower(solo, c, s, reps);
-}
-
-Stats time_one_pe_parallel_prescheduled(const SolveCase& c, int reps) {
-  ThreadTeam solo(1);
-  const auto s = global_schedule(c.wavefronts, 1);
-  return time_prescheduled_lower(solo, c, s, reps);
+  const Plan plan(solo, DependenceGraph(c.graph), opts);
+  return time_lower(solo, c, plan, reps);
 }
 
 Stats barrier_cost_ms(ThreadTeam& team) {

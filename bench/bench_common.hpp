@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/analysis.hpp"
-#include "core/doconsider.hpp"
+#include "core/plan.hpp"
 #include "graph/wavefront.hpp"
 #include "report.hpp"
 #include "runtime/thread_team.hpp"
@@ -53,25 +53,18 @@ std::vector<SolveCase> table23_cases();
 /// Wall time (ms over reps) of the sequential forward substitution.
 Stats time_sequential_lower(const SolveCase& c, int reps);
 
-/// Wall time (ms over reps) of one parallel forward substitution under the
-/// given schedule/executor.
-Stats time_self_lower(ThreadTeam& team, const SolveCase& c, const Schedule& s,
-                      int reps);
-Stats time_prescheduled_lower(ThreadTeam& team, const SolveCase& c,
-                              const Schedule& s, int reps);
-Stats time_doacross_lower(ThreadTeam& team, const SolveCase& c, int reps);
+/// Wall time (ms over reps) of one parallel forward substitution under
+/// `plan` — every executor shape (including the §5.1.2 rotating
+/// instrumented variants, which report total wall ms for P times the
+/// work) is selected through the plan's `DoconsiderOptions`. The plan must
+/// have been compiled for `team`'s size and for `c`'s lower-solve graph.
+Stats time_lower(ThreadTeam& team, const SolveCase& c, const Plan& plan,
+                 int reps);
 
-/// Rotating-processor runs (§5.1.2): every processor executes all
-/// schedules; returns total wall ms (divide by team size for the perfect-
-/// balance per-processor time).
-Stats time_rotating_self(ThreadTeam& team, const SolveCase& c,
-                         const Schedule& s, int reps);
-Stats time_rotating_prescheduled(ThreadTeam& team, const SolveCase& c,
-                                 const Schedule& s, int reps);
-
-/// Single-processor run of the *parallel* code (1 PE Par. column).
-Stats time_one_pe_parallel_self(const SolveCase& c, int reps);
-Stats time_one_pe_parallel_prescheduled(const SolveCase& c, int reps);
+/// Single-processor run of the *parallel* code (1 PE Par. column): builds
+/// a one-thread team and a plan for it under `opts`, then times the solve.
+Stats time_one_pe_parallel(const SolveCase& c, DoconsiderOptions opts,
+                           int reps);
 
 /// Per-barrier cost on the team (ms), measured over many episodes; one
 /// sample per outer repetition.

@@ -16,8 +16,8 @@
 #include <string>
 
 #include "bench_common.hpp"
-#include "core/executors.hpp"
 #include "core/partition.hpp"
+#include "core/plan.hpp"
 #include "core/schedule.hpp"
 
 int main() {
@@ -43,14 +43,20 @@ int main() {
 
   for (int p = 1; p <= 16; ++p) {
     ThreadTeam team(p);
-    const auto part = wrapped_partition(c.graph.size(), p);
-    const auto s = local_schedule(c.wavefronts, part);
+    DoconsiderOptions pre_opts;
+    pre_opts.scheduling = SchedulingPolicy::kLocalWrapped;
+    pre_opts.execution = ExecutionPolicy::kPreScheduled;
+    DoconsiderOptions self_opts = pre_opts;
+    self_opts.execution = ExecutionPolicy::kSelfExecuting;
+    const Plan pre_plan(team, DependenceGraph(c.graph), pre_opts);
+    const Plan self_plan(team, DependenceGraph(c.graph), self_opts);
+    const auto& s = pre_plan.schedule();
 
     const auto sym_pre = estimate_prescheduled(s, c.work);
     const auto sym_self = estimate_self_executing(s, c.graph, c.work);
 
-    const Stats pre = time_prescheduled_lower(team, c, s, reps);
-    const Stats self_run = time_self_lower(team, c, s, reps);
+    const Stats pre = time_lower(team, c, pre_plan, reps);
+    const Stats self_run = time_lower(team, c, self_plan, reps);
     const double eff_pre = seq_ms / (p * pre.min);
     const double eff_self = seq_ms / (p * self_run.min);
 

@@ -14,7 +14,7 @@
 
 #include "report.hpp"
 
-#include "core/executors.hpp"
+#include "core/plan.hpp"
 #include "core/schedule.hpp"
 #include "graph/wavefront.hpp"
 #include "runtime/ready_flags.hpp"
@@ -80,15 +80,15 @@ void BM_SelfExecutingLowerSolve(benchmark::State& state) {
   const auto sys = five_point(63, 63);
   IluFactorization ilu(sys.a, 0);
   ilu.factor(sys.a);
-  const auto g = lower_solve_dependences(ilu.lower());
-  const auto wf = compute_wavefronts(g);
-  const auto s = global_schedule(wf, p);
   ThreadTeam team(p);
-  ReadyFlags ready(g.size());
-  std::vector<real_t> y(static_cast<std::size_t>(g.size()));
+  DoconsiderOptions opts;
+  opts.execution = ExecutionPolicy::kSelfExecuting;
+  const Plan plan(team, lower_solve_dependences(ilu.lower()), opts);
+  ExecState exec_state(plan);
+  std::vector<real_t> y(static_cast<std::size_t>(plan.size()));
   const auto& lower = ilu.lower();
   for (auto _ : state) {
-    execute_self(team, s, g, ready, [&](index_t i) {
+    plan.execute(team, [&](index_t i) {
       real_t sum = sys.rhs[static_cast<std::size_t>(i)];
       const auto cs = lower.row_cols(i);
       const auto vs = lower.row_vals(i);
@@ -96,7 +96,7 @@ void BM_SelfExecutingLowerSolve(benchmark::State& state) {
         sum -= vs[k] * y[static_cast<std::size_t>(cs[k])];
       }
       y[static_cast<std::size_t>(i)] = sum;
-    });
+    }, exec_state);
   }
 }
 BENCHMARK(BM_SelfExecutingLowerSolve)->Arg(2)->Arg(4)->Arg(8)->Arg(16);

@@ -8,7 +8,7 @@
 #include <string>
 
 #include "bench_common.hpp"
-#include "core/executors.hpp"
+#include "core/plan.hpp"
 #include "core/schedule.hpp"
 #include "model/performance_model.hpp"
 
@@ -71,9 +71,14 @@ int main() {
     prob.system = five_point(m, n);
     const SolveCase c(std::move(prob));
     ThreadTeam team(p);
-    const auto s = global_schedule(c.wavefronts, p);
-    const Stats pre = time_prescheduled_lower(team, c, s, reps);
-    const Stats self_run = time_self_lower(team, c, s, reps);
+    DoconsiderOptions pre_opts;
+    pre_opts.execution = ExecutionPolicy::kPreScheduled;
+    DoconsiderOptions self_opts;
+    self_opts.execution = ExecutionPolicy::kSelfExecuting;
+    const Plan pre_plan(team, DependenceGraph(c.graph), pre_opts);
+    const Plan self_plan(team, DependenceGraph(c.graph), self_opts);
+    const Stats pre = time_lower(team, c, pre_plan, reps);
+    const Stats self_run = time_lower(team, c, self_plan, reps);
     std::printf("%5dx%-5d %3d | %9.3f %9.3f | %14.2f\n", m, n, p, pre.min,
                 self_run.min, pre.min / self_run.min);
     const std::string g =

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/plan.hpp"
 #include "solver/krylov.hpp"
 #include "sparse/triangular.hpp"
 
@@ -77,8 +78,8 @@ class AmplifiedIluPreconditioner final : public Preconditioner {
 
  private:
   IluFactorization ilu_;
-  DoconsiderPlan lower_plan_;
-  DoconsiderPlan upper_plan_;
+  Plan lower_plan_;
+  Plan upper_plan_;
   std::vector<real_t> tmp_;
 };
 

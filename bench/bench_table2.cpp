@@ -8,8 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/executors.hpp"
-#include "core/schedule.hpp"
+#include "core/plan.hpp"
 
 int main() {
   using namespace rtl;
@@ -27,15 +26,24 @@ int main() {
   std::printf("%-8s %7s %9s %9s %9s %9s %8s %8s %10s\n", "", "", "Eff.",
               "Time", "Estimate", "Par.", "Seq.", "Time", "Time");
 
+  DoconsiderOptions self_opts;
+  self_opts.execution = ExecutionPolicy::kSelfExecuting;
+  DoconsiderOptions rot_opts = self_opts;
+  rot_opts.instrumented = true;
+  DoconsiderOptions doacross_opts;
+  doacross_opts.execution = ExecutionPolicy::kDoAcross;
+
   for (const auto& c : table23_cases()) {
-    const auto s = global_schedule(c.wavefronts, p);
-    const auto sym = estimate_self_executing(s, c.graph, c.work);
+    const Plan plan(team, DependenceGraph(c.graph), self_opts);
+    const Plan rot_plan(team, DependenceGraph(c.graph), rot_opts);
+    const Plan doacross_plan(team, DependenceGraph(c.graph), doacross_opts);
+    const auto sym = estimate_self_executing(plan.schedule(), c.graph, c.work);
 
     const Stats seq = time_sequential_lower(c, reps);
-    const Stats par = time_self_lower(team, c, s, reps);
-    const Stats rot = time_rotating_self(team, c, s, reps);
-    const Stats one_pe_par = time_one_pe_parallel_self(c, reps);
-    const Stats doacross = time_doacross_lower(team, c, reps);
+    const Stats par = time_lower(team, c, plan, reps);
+    const Stats rot = time_lower(team, c, rot_plan, reps);
+    const Stats one_pe_par = time_one_pe_parallel(c, self_opts, reps);
+    const Stats doacross = time_lower(team, c, doacross_plan, reps);
 
     // §5.1.2 estimates: divide the perfectly-balanced per-processor time
     // (or single-processor time) by p * symbolic efficiency.

@@ -8,8 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/executors.hpp"
-#include "core/schedule.hpp"
+#include "core/plan.hpp"
 
 int main() {
   using namespace rtl;
@@ -31,14 +30,20 @@ int main() {
   std::printf("%-8s %7s %9s %9s %11s %9s %8s %8s\n", "", "", "Eff.", "Time",
               "+Barrier", "Par.", "Seq.", "Time");
 
+  DoconsiderOptions pre_opts;
+  pre_opts.execution = ExecutionPolicy::kPreScheduled;
+  DoconsiderOptions rot_opts = pre_opts;
+  rot_opts.instrumented = true;
+
   for (const auto& c : table23_cases()) {
-    const auto s = global_schedule(c.wavefronts, p);
-    const auto sym = estimate_prescheduled(s, c.work);
+    const Plan plan(team, DependenceGraph(c.graph), pre_opts);
+    const Plan rot_plan(team, DependenceGraph(c.graph), rot_opts);
+    const auto sym = estimate_prescheduled(plan.schedule(), c.work);
 
     const Stats seq = time_sequential_lower(c, reps);
-    const Stats par = time_prescheduled_lower(team, c, s, reps);
-    const Stats rot = time_rotating_prescheduled(team, c, s, reps);
-    const Stats one_pe_par = time_one_pe_parallel_prescheduled(c, reps);
+    const Stats par = time_lower(team, c, plan, reps);
+    const Stats rot = time_lower(team, c, rot_plan, reps);
+    const Stats one_pe_par = time_one_pe_parallel(c, pre_opts, reps);
 
     const double rotating_estimate =
         rot.min / (p * sym.efficiency) +

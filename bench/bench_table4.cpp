@@ -12,7 +12,7 @@
 #include <string>
 
 #include "bench_common.hpp"
-#include "core/executors.hpp"
+#include "core/plan.hpp"
 #include "core/schedule.hpp"
 
 int main() {
@@ -37,11 +37,19 @@ int main() {
   }
   std::printf("\n");
 
+  DoconsiderOptions rot_self_opts;
+  rot_self_opts.execution = ExecutionPolicy::kSelfExecuting;
+  rot_self_opts.instrumented = true;
+  DoconsiderOptions rot_pre_opts;
+  rot_pre_opts.execution = ExecutionPolicy::kPreScheduled;
+  rot_pre_opts.instrumented = true;
+
   for (const auto& c : table23_cases()) {
-    const auto s_meas = global_schedule(c.wavefronts, p_meas);
+    const Plan rot_self_plan(team, DependenceGraph(c.graph), rot_self_opts);
+    const Plan rot_pre_plan(team, DependenceGraph(c.graph), rot_pre_opts);
     const Stats seq = time_sequential_lower(c, reps);
-    const Stats rot_self = time_rotating_self(team, c, s_meas, reps);
-    const Stats rot_pre = time_rotating_prescheduled(team, c, s_meas, reps);
+    const Stats rot_self = time_lower(team, c, rot_self_plan, reps);
+    const Stats rot_pre = time_lower(team, c, rot_pre_plan, reps);
     const double seq_ms = seq.min;
     const double rot_self_ms = rot_self.min;
     const double rot_pre_ms = rot_pre.min;

@@ -7,8 +7,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/executors.hpp"
 #include "core/partition.hpp"
+#include "core/plan.hpp"
 #include "core/schedule.hpp"
 #include "sparse/coo_builder.hpp"
 #include "workload/synthetic.hpp"
@@ -88,10 +88,14 @@ int main() {
     const Stats loc_sort = measure_ms(
         reps, [&] { (void)local_schedule(c.wavefronts, part); });
 
-    const auto sg = global_schedule(c.wavefronts, p);
-    const auto sl = local_schedule(c.wavefronts, part);
-    const Stats run_glob = time_self_lower(team, c, sg, reps);
-    const Stats run_loc = time_self_lower(team, c, sl, reps);
+    DoconsiderOptions glob_opts;
+    glob_opts.execution = ExecutionPolicy::kSelfExecuting;
+    DoconsiderOptions loc_opts = glob_opts;
+    loc_opts.scheduling = SchedulingPolicy::kLocalWrapped;
+    const Plan glob_plan(team, DependenceGraph(c.graph), glob_opts);
+    const Plan loc_plan(team, DependenceGraph(c.graph), loc_opts);
+    const Stats run_glob = time_lower(team, c, glob_plan, reps);
+    const Stats run_loc = time_lower(team, c, loc_plan, reps);
 
     std::printf(
         "%-10s %8.2f %8.3f %8.3f %8.3f %9.3f %8.3f | %9.2f %9.2f\n",

@@ -17,7 +17,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/doconsider.hpp"
+#include "core/plan.hpp"
 #include "graph/wavefront.hpp"
 #include "runtime/timer.hpp"
 #include "workload/synthetic.hpp"
@@ -75,13 +75,16 @@ int main() {
 
   std::printf("%-28s %10s %8s\n", "executor", "time (ms)", "result");
 
+  // Every executor shape — including the dynamically self-scheduled
+  // extension, where threads claim sorted-list entries via fetch-and-add —
+  // is one ExecutionPolicy away through the same plan.execute entry point.
   for (const auto exec :
        {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting,
-        ExecutionPolicy::kDoAcross}) {
+        ExecutionPolicy::kDoAcross, ExecutionPolicy::kSelfScheduled}) {
     DoconsiderOptions opts;
     opts.execution = exec;
     DependenceGraph copy = g;
-    DoconsiderPlan plan(team, std::move(copy), opts);
+    const Plan plan(team, std::move(copy), opts);
     std::fill(y.begin(), y.end(), 0.0);
     WallTimer t;
     plan.execute(team, body);
@@ -90,19 +93,10 @@ int main() {
                            ? "pre-scheduled (global)"
                            : exec == ExecutionPolicy::kSelfExecuting
                                  ? "self-executing (global)"
-                                 : "doacross";
+                                 : exec == ExecutionPolicy::kDoAcross
+                                       ? "doacross"
+                                       : "self-scheduled (dynamic)";
     std::printf("%-28s %10.2f %8s\n", name, ms, check());
-  }
-
-  // Dynamic extension: threads claim sorted-list entries via fetch-and-add.
-  {
-    const auto order = wavefront_sorted_list(wf);
-    ReadyFlags ready(n);
-    std::fill(y.begin(), y.end(), 0.0);
-    WallTimer t;
-    execute_self_scheduled(team, order, g, ready, body);
-    std::printf("%-28s %10.2f %8s\n", "self-scheduled (dynamic)",
-                t.elapsed_ms(), check());
   }
   return 0;
 }

@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/doconsider.hpp"
+#include "core/plan.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
 
@@ -48,7 +48,7 @@ int main() {
   DoconsiderOptions opts;
   opts.scheduling = SchedulingPolicy::kGlobal;
   opts.execution = ExecutionPolicy::kSelfExecuting;
-  DoconsiderPlan plan(team, std::move(graph), opts);
+  const Plan plan(team, std::move(graph), opts);
   const double inspector_ms = inspector_timer.elapsed_ms();
 
   // 3. Executor: run the loop body in the planned order (reusable).

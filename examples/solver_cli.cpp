@@ -2,7 +2,8 @@
 // their own system.
 //
 //   solver_cli [--matrix FILE.mtx | --problem NAME] [--procs P]
-//              [--exec self|pre|doacross] [--sched global|local]
+//              [--exec self|pre|doacross|selfsched|windowed]
+//              [--window W] [--sched global|local]
 //              [--level K] [--rtol R] [--maxit N]
 //
 // Reads a Matrix Market file (or generates a named Appendix I problem),
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/runtime.hpp"
 #include "runtime/timer.hpp"
 #include "solver/ilu_preconditioner.hpp"
 #include "solver/krylov.hpp"
@@ -31,7 +33,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--matrix FILE.mtx | --problem NAME] [--procs P]\n"
-      "          [--exec self|pre|doacross] [--sched global|local]\n"
+      "          [--exec self|pre|doacross|selfsched|windowed]\n"
+      "          [--window W] [--sched global|local]\n"
       "          [--level K] [--rtol R] [--maxit N]\n"
       "NAME: spe1..spe5, 5pt, 9pt, 7pt, l5pt, l9pt, l7pt\n",
       argv0);
@@ -94,9 +97,16 @@ int main(int argc, char** argv) {
         opts.execution = ExecutionPolicy::kPreScheduled;
       } else if (v == "doacross") {
         opts.execution = ExecutionPolicy::kDoAcross;
+      } else if (v == "selfsched") {
+        opts.execution = ExecutionPolicy::kSelfScheduled;
+      } else if (v == "windowed") {
+        opts.execution = ExecutionPolicy::kWindowed;
       } else {
         return usage(argv[0]);
       }
+    } else if (arg == "--window") {
+      opts.window = std::atoi(next());
+      if (opts.window < 1) return usage(argv[0]);
     } else if (arg == "--sched") {
       const std::string v = next();
       if (v == "global") {
@@ -131,9 +141,10 @@ int main(int argc, char** argv) {
     }
     std::printf("n        : %d, nnz: %d\n", sys.a.rows(), sys.a.nnz());
 
-    ThreadTeam team(procs);
+    Runtime rt(procs);
+    ThreadTeam& team = rt.team();
     WallTimer inspect_timer;
-    IluPreconditioner precond(team, sys.a, level, opts);
+    IluPreconditioner precond(rt, sys.a, level, opts);
     const double inspect_ms = inspect_timer.elapsed_ms();
     WallTimer factor_timer;
     precond.factor(team, sys.a);

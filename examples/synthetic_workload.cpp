@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "core/analysis.hpp"
-#include "core/doconsider.hpp"
+#include "core/plan.hpp"
 #include "graph/wavefront.hpp"
 #include "runtime/timer.hpp"
 #include "sparse/triangular.hpp"
@@ -56,7 +56,7 @@ int main() {
        {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting}) {
     DoconsiderOptions opts;
     opts.execution = exec;
-    DoconsiderPlan plan(team, lower_solve_dependences(sys.a), opts);
+    const Plan plan(team, lower_solve_dependences(sys.a), opts);
     const double ms = min_time_ms(5, [&] { plan.execute(team, body); });
     std::printf("  %-14s : %.3f ms\n",
                 exec == ExecutionPolicy::kPreScheduled ? "pre-scheduled"

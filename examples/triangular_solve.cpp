@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/runtime.hpp"
 #include "runtime/timer.hpp"
 #include "solver/parallel_triangular.hpp"
 #include "sparse/ilu.hpp"
@@ -38,13 +39,14 @@ int main() {
               "self-exec (ms)", "max err");
 
   for (const int p : {2, 4, 8, 16}) {
-    ThreadTeam team(p);
+    Runtime rt(p);
+    ThreadTeam& team = rt.team();
     DoconsiderOptions pre_opts;
     pre_opts.execution = ExecutionPolicy::kPreScheduled;
-    ParallelTriangularSolver pre(team, ilu, pre_opts);
+    ParallelTriangularSolver pre(rt, ilu, pre_opts);
     DoconsiderOptions self_opts;
     self_opts.execution = ExecutionPolicy::kSelfExecuting;
-    ParallelTriangularSolver self(team, ilu, self_opts);
+    ParallelTriangularSolver self(rt, ilu, self_opts);
 
     const double pre_ms = min_time_ms(
         5, [&] { pre.solve(team, prob.system.rhs, tmp, y_par); });

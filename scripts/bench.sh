@@ -15,6 +15,10 @@
 #   --skip-build    do not (re)configure/build first
 #   --only SUBSTR   run only drivers whose name contains SUBSTR (the
 #                   merged file still records the others as skipped)
+#   --compare BASE  after writing the output, run
+#                   scripts/compare_bench.py BASE OUT — the suite run and
+#                   the regression gate in one step (exits nonzero on a
+#                   gated regression or an unsound comparison)
 #
 # Knobs: RTL_PROCS/RTL_REPS/RTL_AMP already present in the environment are
 # respected; otherwise the pinned defaults below are exported so a baseline
@@ -28,6 +32,7 @@ OUT=""
 SMOKE=0
 SKIP_BUILD=0
 ONLY=""
+COMPARE=""
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -36,6 +41,7 @@ while [ $# -gt 0 ]; do
     --build-dir) BUILD_DIR="$2"; shift ;;
     --skip-build) SKIP_BUILD=1 ;;
     --only) ONLY="$2"; shift ;;
+    --compare) COMPARE="$2"; shift ;;
     -h|--help)
       # Print the whole leading comment block (minus the shebang).
       awk 'NR > 1 && /^#/ { sub(/^# ?/, ""); print; next } NR > 1 { exit }' "$0"
@@ -126,3 +132,8 @@ done
 
 python3 "$REPO_ROOT/scripts/compare_bench.py" --merge "$OUT" "${PARTS[@]}"
 echo "wrote $OUT"
+
+if [ -n "$COMPARE" ]; then
+  echo "== compare against $COMPARE =="
+  python3 "$REPO_ROOT/scripts/compare_bench.py" "$COMPARE" "$OUT"
+fi

@@ -1,137 +1,67 @@
 #pragma once
 
+#include <memory>
 #include <utility>
 
-#include "core/analysis.hpp"
-#include "core/executors.hpp"
-#include "core/partition.hpp"
-#include "core/schedule.hpp"
-#include "graph/dependence_graph.hpp"
-#include "graph/wavefront.hpp"
-#include "runtime/ready_flags.hpp"
-#include "runtime/thread_team.hpp"
+#include "core/plan.hpp"
 
-/// The `doconsider` construct — the library's public face.
+/// Deprecated v1 compatibility shim for the `doconsider` construct.
 ///
-/// A `doconsider` loop is a sequential loop whose cross-iteration
-/// dependences are only known at run time. The compiler transformation the
-/// paper proposes (§2.2, steps 1-5) becomes, at library level:
+/// The Plan/Runtime API v2 (core/plan.hpp, core/runtime.hpp) split the old
+/// `DoconsiderPlan` — which carried per-execution mutable state inside the
+/// plan and therefore could not be shared — into the immutable `rtl::Plan`
+/// and the per-execution `rtl::ExecState`. This header keeps out-of-tree
+/// callers compiling for one release:
 ///
-///   1. describe the dependences as a `DependenceGraph` (the inspector's
-///      input — typically extracted from an indirection array),
-///   2. build a `DoconsiderPlan`: wavefront computation + schedule
-///      construction, paid once,
-///   3. call `plan.execute(team, body)` every time the loop runs — the
-///      executor whose shape was chosen in the plan options.
+///   DoconsiderPlan plan(team, g, opts);   ->  Plan plan(team, g, opts);
+///   plan.execute(team, body);             ->  plan.execute(team, body);
 ///
-/// The plan is reusable across executions of the same loop, which is how
-/// the paper amortizes the inspector over "a substantial number of
-/// iterations" (§5.1.1).
+/// i.e. the spelling is unchanged; only the type name (and the sharing
+/// semantics) moved. The `doconsider()` one-shot facade and the
+/// `DoconsiderOptions` / policy enums now live in core/plan.hpp and remain
+/// fully supported. See README.md ("Migrating from DoconsiderPlan").
 namespace rtl {
 
-/// How the index set is reordered (§2.3).
-enum class SchedulingPolicy {
-  /// Topological sort of the whole index set, dealt wrapped to processors.
-  kGlobal,
-  /// Fixed wrapped partition; each processor locally sorted by wavefront.
-  kLocalWrapped,
-  /// Fixed block partition; each processor locally sorted by wavefront.
-  kLocalBlock,
-};
-
-/// How dependences are enforced during execution (§2.2).
-enum class ExecutionPolicy {
-  /// Global synchronization between wavefronts (Figure 5).
-  kPreScheduled,
-  /// Busy-waits on a shared ready array (Figure 4).
-  kSelfExecuting,
-  /// Original iteration order + ready array (the baseline of §5.1.2).
-  kDoAcross,
-};
-
-/// Plan options.
-struct DoconsiderOptions {
-  SchedulingPolicy scheduling = SchedulingPolicy::kGlobal;
-  ExecutionPolicy execution = ExecutionPolicy::kSelfExecuting;
-  /// Run the inspector's wavefront sweep in parallel on the team (§2.3).
-  bool parallel_inspector = false;
-};
-
-/// Reusable inspector result: wavefronts + schedule + ready flags.
-class DoconsiderPlan {
+/// v1 plan: inspector artifact *plus* one embedded execution state, so a
+/// DoconsiderPlan must not be executed concurrently with itself. Prefer
+/// `rtl::Plan` (sharable, const execute) or `rtl::Runtime::plan_for`.
+class [[deprecated(
+    "use rtl::Plan / rtl::Runtime (Plan/Runtime API v2); this shim is "
+    "scheduled for removal")]] DoconsiderPlan {
  public:
-  /// Run the inspector for `graph` on `team.size()` processors.
   DoconsiderPlan(ThreadTeam& team, DependenceGraph graph,
                  DoconsiderOptions options = {})
-      : graph_(std::move(graph)), options_(options) {
-    const int p = team.size();
-    wavefronts_ = options.parallel_inspector
-                      ? compute_wavefronts_parallel(graph_, team)
-                      : compute_wavefronts(graph_);
-    switch (options.scheduling) {
-      case SchedulingPolicy::kGlobal:
-        schedule_ = global_schedule(wavefronts_, p);
-        break;
-      case SchedulingPolicy::kLocalWrapped:
-        schedule_ =
-            local_schedule(wavefronts_, wrapped_partition(graph_.size(), p));
-        break;
-      case SchedulingPolicy::kLocalBlock:
-        schedule_ =
-            local_schedule(wavefronts_, block_partition(graph_.size(), p));
-        break;
-    }
-    if (options.execution != ExecutionPolicy::kPreScheduled) {
-      ready_ = ReadyFlags(graph_.size());
-    }
-  }
+      : plan_(std::make_unique<Plan>(team, std::move(graph), options)),
+        state_(std::make_unique<ExecState>(*plan_)) {}
 
-  /// Execute the loop body under the planned order. `body(i)` must perform
-  /// the work of iteration i and may read any value produced by an
-  /// iteration in `graph().deps(i)`.
+  // v1 DoconsiderPlan was implicitly movable; keep that for the shim's
+  // lifetime (Plan itself is pinned, hence the indirection).
+  DoconsiderPlan(DoconsiderPlan&&) noexcept = default;
+  DoconsiderPlan& operator=(DoconsiderPlan&&) noexcept = default;
+
   template <class Body>
   void execute(ThreadTeam& team, Body&& body) {
-    switch (options_.execution) {
-      case ExecutionPolicy::kPreScheduled:
-        execute_prescheduled(team, schedule_, std::forward<Body>(body));
-        break;
-      case ExecutionPolicy::kSelfExecuting:
-        execute_self(team, schedule_, graph_, ready_,
-                     std::forward<Body>(body));
-        break;
-      case ExecutionPolicy::kDoAcross:
-        execute_doacross(team, graph_.size(), graph_, ready_,
-                         std::forward<Body>(body));
-        break;
-    }
+    plan_->execute(team, std::forward<Body>(body), *state_);
   }
 
   [[nodiscard]] const DependenceGraph& graph() const noexcept {
-    return graph_;
+    return plan_->graph();
   }
   [[nodiscard]] const WavefrontInfo& wavefronts() const noexcept {
-    return wavefronts_;
+    return plan_->wavefronts();
   }
-  [[nodiscard]] const Schedule& schedule() const noexcept { return schedule_; }
+  [[nodiscard]] const Schedule& schedule() const noexcept {
+    return plan_->schedule();
+  }
   [[nodiscard]] const DoconsiderOptions& options() const noexcept {
-    return options_;
+    return plan_->options();
   }
+  /// The wrapped v2 artifact.
+  [[nodiscard]] const Plan& plan() const noexcept { return *plan_; }
 
  private:
-  DependenceGraph graph_;
-  DoconsiderOptions options_;
-  WavefrontInfo wavefronts_;
-  Schedule schedule_;
-  ReadyFlags ready_;
+  std::unique_ptr<Plan> plan_;
+  std::unique_ptr<ExecState> state_;
 };
-
-/// One-shot convenience: inspector + a single execution. Prefer building a
-/// `DoconsiderPlan` when the loop runs more than once.
-template <class Body>
-void doconsider(ThreadTeam& team, DependenceGraph graph, Body&& body,
-                DoconsiderOptions options = {}) {
-  DoconsiderPlan plan(team, std::move(graph), options);
-  plan.execute(team, std::forward<Body>(body));
-}
 
 }  // namespace rtl

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <type_traits>
+#include <utility>
 
 #include "core/schedule.hpp"
 #include "graph/dependence_graph.hpp"
@@ -153,10 +155,10 @@ template <class Body>
 void execute_self_scheduled(ThreadTeam& team,
                             const std::vector<index_t>& order,
                             const DependenceGraph& g, ReadyFlags& ready,
-                            Body&& body) {
+                            std::atomic<index_t>& cursor, Body&& body) {
   ready.reset();
+  cursor.store(0, std::memory_order_relaxed);
   const index_t n = static_cast<index_t>(order.size());
-  alignas(cache_line_size) std::atomic<index_t> cursor{0};
   team.run([&](int tid) {
     for (;;) {
       const index_t k = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -167,6 +169,17 @@ void execute_self_scheduled(ThreadTeam& team,
       ready.set(i);
     }
   });
+}
+
+/// Overload with a call-local cursor (one-shot use).
+template <class Body>
+void execute_self_scheduled(ThreadTeam& team,
+                            const std::vector<index_t>& order,
+                            const DependenceGraph& g, ReadyFlags& ready,
+                            Body&& body) {
+  alignas(cache_line_size) std::atomic<index_t> cursor{0};
+  execute_self_scheduled(team, order, g, ready, cursor,
+                         std::forward<Body>(body));
 }
 
 /// Windowed hybrid executor (extension): global synchronization every
@@ -201,9 +214,5 @@ void execute_windowed(ThreadTeam& team, const Schedule& s,
     }
   });
 }
-
-/// Measure the cost of `count` consecutive global synchronizations on the
-/// team, in milliseconds — the T_synch calibration input of §4.2.
-[[nodiscard]] double measure_barrier_ms(ThreadTeam& team, int count);
 
 }  // namespace rtl

@@ -1,0 +1,308 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/executors.hpp"
+#include "core/partition.hpp"
+#include "core/schedule.hpp"
+#include "graph/dependence_graph.hpp"
+#include "graph/wavefront.hpp"
+#include "runtime/ready_flags.hpp"
+#include "runtime/thread_team.hpp"
+
+/// Plan/Runtime API v2 — the inspector artifact and its execution state.
+///
+/// The paper's whole economic argument is that the inspector is paid once
+/// and amortized over many executor runs (§5.1.1). The v2 API makes that
+/// literal: a `Plan` is an immutable compiled artifact (dependence graph +
+/// wavefronts + schedule + a deterministic structure fingerprint) whose
+/// `execute()` is const and safe to call concurrently from *distinct*
+/// thread teams; all per-execution mutable state (the ready array of
+/// Figure 4, the self-scheduling cursor) lives in an `ExecState` that is
+/// created — or transparently pooled — at execute() time.
+///
+/// Every executor shape is reachable through `Plan::execute` via
+/// `ExecutionPolicy` (including the dynamically self-scheduled and
+/// windowed-hybrid extensions, and the §5.1.2 rotating instrumented
+/// variants behind `DoconsiderOptions::instrumented`); the `execute_*`
+/// free functions in core/executors.hpp remain as the low-level layer the
+/// dispatch compiles down to.
+namespace rtl {
+
+/// How the index set is reordered (§2.3).
+enum class SchedulingPolicy {
+  /// Topological sort of the whole index set, dealt wrapped to processors.
+  kGlobal,
+  /// Fixed wrapped partition; each processor locally sorted by wavefront.
+  kLocalWrapped,
+  /// Fixed block partition; each processor locally sorted by wavefront.
+  kLocalBlock,
+};
+
+/// How dependences are enforced during execution (§2.2 + extensions).
+enum class ExecutionPolicy {
+  /// Global synchronization between wavefronts (Figure 5).
+  kPreScheduled,
+  /// Busy-waits on a shared ready array (Figure 4).
+  kSelfExecuting,
+  /// Original iteration order + ready array (the baseline of §5.1.2).
+  kDoAcross,
+  /// Threads claim wavefront-sorted indices from a shared fetch-and-add
+  /// cursor (extension; cf. the self-scheduling schemes discussed in §3).
+  kSelfScheduled,
+  /// Global barrier every `DoconsiderOptions::window` wavefronts, ready
+  /// flags inside each window (extension; cf. Nicol & Saltz [13]).
+  kWindowed,
+};
+
+/// Plan options.
+struct DoconsiderOptions {
+  SchedulingPolicy scheduling = SchedulingPolicy::kGlobal;
+  ExecutionPolicy execution = ExecutionPolicy::kSelfExecuting;
+  /// Run the inspector's wavefront sweep in parallel on the team (§2.3).
+  /// Does not change the produced artifact, only how fast it is built.
+  bool parallel_inspector = false;
+  /// kWindowed only: number of wavefronts between global barriers (>= 1).
+  index_t window = 4;
+  /// kPreScheduled / kSelfExecuting only: run the §5.1.2 rotating
+  /// instrumented variant — every processor executes all schedules, so the
+  /// run is perfectly load balanced, does P times the work, keeps all
+  /// synchronization memory traffic but never actually waits.
+  bool instrumented = false;
+};
+
+/// Options with the fields that do not apply to `execution` forced to a
+/// canonical value, so equivalent requests compare (and cache-key) equal.
+[[nodiscard]] constexpr DoconsiderOptions normalized_options(
+    DoconsiderOptions o) noexcept {
+  if (o.execution == ExecutionPolicy::kWindowed) {
+    if (o.window < 1) o.window = 1;
+  } else {
+    o.window = 0;
+  }
+  if (o.execution != ExecutionPolicy::kPreScheduled &&
+      o.execution != ExecutionPolicy::kSelfExecuting) {
+    o.instrumented = false;
+  }
+  // kDoAcross runs the original index order and kSelfScheduled consumes
+  // only the wavefront-sorted list, so the scheduling policy cannot
+  // influence execution; canonicalize it so equivalent requests share one
+  // cache entry.
+  if (o.execution == ExecutionPolicy::kDoAcross ||
+      o.execution == ExecutionPolicy::kSelfScheduled) {
+    o.scheduling = SchedulingPolicy::kGlobal;
+  }
+  return o;
+}
+
+class Plan;
+
+/// Per-execution mutable state: the shared ready array and the
+/// self-scheduling cursor. One ExecState serves one execution at a time;
+/// distinct concurrent executions of the same `Plan` need distinct states
+/// (pass none to `Plan::execute` and one is pooled automatically).
+class ExecState {
+ public:
+  /// State sized for `plan` (ready flags only when its policy uses them).
+  /// This is the only constructor: a state not sized for a plan would be
+  /// out-of-bounds the moment a ready-using policy executes with it.
+  explicit ExecState(const Plan& plan);
+
+  ExecState(const ExecState&) = delete;
+  ExecState& operator=(const ExecState&) = delete;
+
+  [[nodiscard]] ReadyFlags& ready() noexcept { return ready_; }
+  [[nodiscard]] std::atomic<index_t>& cursor() noexcept { return cursor_; }
+
+ private:
+  ReadyFlags ready_;
+  alignas(cache_line_size) std::atomic<index_t> cursor_{0};
+};
+
+/// Immutable, shareable inspector artifact: dependence graph + wavefronts
+/// + per-processor schedule + structure fingerprint, compiled for a fixed
+/// processor count. `execute()` is const; a Plan may be shared (e.g. via
+/// `std::shared_ptr<const Plan>` handed out by `rtl::Runtime`) and
+/// executed concurrently from distinct thread teams of the same size.
+class Plan {
+ public:
+  /// Run the inspector for `graph` on `team.size()` processors.
+  Plan(ThreadTeam& team, DependenceGraph graph, DoconsiderOptions options = {})
+      : Plan(team, std::move(graph), options, std::nullopt) {}
+
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  /// Execute the loop body under the planned order using `state` for the
+  /// per-execution synchronization data. `body(i)` (or `body(tid, i)`)
+  /// must perform the work of iteration i and may read any value produced
+  /// by an iteration in `graph().deps(i)`. Const and safe to call
+  /// concurrently from distinct teams with distinct states; `team` must
+  /// have the processor count the plan was compiled for.
+  template <class Body>
+  void execute(ThreadTeam& team, Body&& body, ExecState& state) const {
+    assert(team.size() == nproc_ &&
+           "plan compiled for a different team size");
+    switch (options_.execution) {
+      case ExecutionPolicy::kPreScheduled:
+        if (options_.instrumented) {
+          execute_rotating_prescheduled(team, schedule_,
+                                        std::forward<Body>(body));
+        } else {
+          execute_prescheduled(team, schedule_, std::forward<Body>(body));
+        }
+        break;
+      case ExecutionPolicy::kSelfExecuting:
+        if (options_.instrumented) {
+          execute_rotating_self(team, schedule_, graph_, state.ready(),
+                                std::forward<Body>(body));
+        } else {
+          execute_self(team, schedule_, graph_, state.ready(),
+                       std::forward<Body>(body));
+        }
+        break;
+      case ExecutionPolicy::kDoAcross:
+        execute_doacross(team, graph_.size(), graph_, state.ready(),
+                         std::forward<Body>(body));
+        break;
+      case ExecutionPolicy::kSelfScheduled:
+        execute_self_scheduled(team, order_, graph_, state.ready(),
+                               state.cursor(), std::forward<Body>(body));
+        break;
+      case ExecutionPolicy::kWindowed:
+        execute_windowed(team, schedule_, graph_, state.ready(),
+                         options_.window, std::forward<Body>(body));
+        break;
+    }
+  }
+
+  /// Execute with a pooled ExecState: acquires a state from the plan's
+  /// internal pool (allocating on first use), so concurrent callers never
+  /// share synchronization data. The pool is the only mutable member and
+  /// is mutex-guarded; the plan stays logically immutable.
+  template <class Body>
+  void execute(ThreadTeam& team, Body&& body) const {
+    const StateLease lease(*this);
+    execute(team, std::forward<Body>(body), lease.state());
+  }
+
+  [[nodiscard]] const DependenceGraph& graph() const noexcept {
+    return graph_;
+  }
+  [[nodiscard]] const WavefrontInfo& wavefronts() const noexcept {
+    return wavefronts_;
+  }
+  [[nodiscard]] const Schedule& schedule() const noexcept { return schedule_; }
+  [[nodiscard]] const DoconsiderOptions& options() const noexcept {
+    return options_;
+  }
+  /// Number of loop iterations covered.
+  [[nodiscard]] index_t size() const noexcept { return graph_.size(); }
+  /// Processor count the plan was compiled for.
+  [[nodiscard]] int nproc() const noexcept { return nproc_; }
+  /// Deterministic fingerprint of the dependence structure (the cache key
+  /// component of `rtl::Runtime`). Equal structures hash equal across
+  /// processes; distinct structures collide with probability ~2^-64.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+  /// Whether executions under this plan's policy use the ready array.
+  [[nodiscard]] bool needs_ready_flags() const noexcept {
+    return options_.execution != ExecutionPolicy::kPreScheduled;
+  }
+
+ private:
+  friend class ExecState;
+  // Runtime::plan_for already hashed the graph for its cache key and
+  // passes the value through the trusted constructor below.
+  friend class Runtime;
+
+  /// Primary constructor: `fingerprint`, when provided, must equal
+  /// `graph.fingerprint()` — callers other than Runtime pass nullopt.
+  Plan(ThreadTeam& team, DependenceGraph graph, DoconsiderOptions options,
+       std::optional<std::uint64_t> fingerprint)
+      : graph_(std::move(graph)),
+        options_(normalized_options(options)),
+        nproc_(team.size()),
+        fingerprint_(fingerprint ? *fingerprint : graph_.fingerprint()) {
+    wavefronts_ = options.parallel_inspector
+                      ? compute_wavefronts_parallel(graph_, team)
+                      : compute_wavefronts(graph_);
+    switch (options_.scheduling) {
+      case SchedulingPolicy::kGlobal:
+        schedule_ = global_schedule(wavefronts_, nproc_);
+        break;
+      case SchedulingPolicy::kLocalWrapped:
+        schedule_ = local_schedule(wavefronts_,
+                                   wrapped_partition(graph_.size(), nproc_));
+        break;
+      case SchedulingPolicy::kLocalBlock:
+        schedule_ = local_schedule(wavefronts_,
+                                   block_partition(graph_.size(), nproc_));
+        break;
+    }
+    if (options_.execution == ExecutionPolicy::kSelfScheduled) {
+      order_ = wavefront_sorted_list(wavefronts_);
+    }
+  }
+
+  /// RAII lease of a pooled ExecState.
+  class StateLease {
+   public:
+    explicit StateLease(const Plan& plan) : plan_(plan) {
+      {
+        const std::lock_guard<std::mutex> lock(plan.pool_mutex_);
+        if (!plan.pool_.empty()) {
+          state_ = std::move(plan.pool_.back());
+          plan.pool_.pop_back();
+        }
+      }
+      if (!state_) state_ = std::make_unique<ExecState>(plan);
+    }
+    ~StateLease() {
+      const std::lock_guard<std::mutex> lock(plan_.pool_mutex_);
+      plan_.pool_.push_back(std::move(state_));
+    }
+    StateLease(const StateLease&) = delete;
+    StateLease& operator=(const StateLease&) = delete;
+    [[nodiscard]] ExecState& state() const noexcept { return *state_; }
+
+   private:
+    const Plan& plan_;
+    std::unique_ptr<ExecState> state_;
+  };
+
+  DependenceGraph graph_;
+  DoconsiderOptions options_;
+  int nproc_;
+  std::uint64_t fingerprint_;
+  WavefrontInfo wavefronts_;
+  Schedule schedule_;
+  /// Wavefront-sorted index list; populated only for kSelfScheduled.
+  std::vector<index_t> order_;
+
+  mutable std::mutex pool_mutex_;
+  mutable std::vector<std::unique_ptr<ExecState>> pool_;
+};
+
+inline ExecState::ExecState(const Plan& plan)
+    : ready_(plan.needs_ready_flags() ? ReadyFlags(plan.size())
+                                      : ReadyFlags()) {}
+
+/// One-shot convenience: inspector + a single execution. Prefer building a
+/// `Plan` (or asking a `rtl::Runtime` for one) when the loop runs more
+/// than once.
+template <class Body>
+void doconsider(ThreadTeam& team, DependenceGraph graph, Body&& body,
+                DoconsiderOptions options = {}) {
+  const Plan plan(team, std::move(graph), options);
+  plan.execute(team, std::forward<Body>(body));
+}
+
+}  // namespace rtl

@@ -1,0 +1,57 @@
+#include "core/runtime.hpp"
+
+namespace rtl {
+
+std::size_t Runtime::PlanKeyHash::operator()(
+    const PlanKey& k) const noexcept {
+  // The fingerprint is already a high-quality 64-bit hash; fold the small
+  // discriminators in with multiply-xor steps.
+  std::uint64_t h = k.fingerprint;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(k.n));
+  mix(static_cast<std::uint64_t>(k.edges));
+  mix(static_cast<std::uint64_t>(k.scheduling));
+  mix(static_cast<std::uint64_t>(k.execution));
+  mix(static_cast<std::uint64_t>(k.window));
+  mix(static_cast<std::uint64_t>(k.instrumented));
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const Plan> Runtime::plan_for(DependenceGraph graph,
+                                              DoconsiderOptions options) {
+  const DoconsiderOptions normalized = normalized_options(options);
+  const std::uint64_t fingerprint = graph.fingerprint();
+  const PlanKey key{fingerprint,          graph.size(),
+                    graph.num_edges(),    normalized.scheduling,
+                    normalized.execution, normalized.window,
+                    normalized.instrumented};
+  // `parallel_inspector` is deliberately absent from the key: it changes
+  // how fast the artifact is built, never what is built.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  // Private trusted constructor: reuses the fingerprint computed for the
+  // key instead of hashing the CSR arrays a second time (plain `new`
+  // because make_shared cannot reach a private constructor).
+  const std::shared_ptr<const Plan> plan(
+      new Plan(team_, std::move(graph), options, fingerprint));
+  cache_.emplace(key, plan);
+  return plan;
+}
+
+Runtime::CacheCounters Runtime::plan_cache_counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {hits_, misses_, cache_.size()};
+}
+
+void Runtime::clear_plan_cache() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+}
+
+}  // namespace rtl

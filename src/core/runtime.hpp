@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/plan.hpp"
+#include "runtime/thread_team.hpp"
+
+/// The Runtime execution context of the Plan/Runtime API v2.
+///
+/// A `Runtime` owns the thread team (the paper's "multiprocessor") and a
+/// cache of inspector artifacts keyed by dependence *structure*, so that
+/// repeated factorizations / solves with unchanged sparsity pay the
+/// inspector exactly once per (structure, options) pair — the paper's
+/// amortization argument (§5.1.1) made into a service-level guarantee. The
+/// solver components (`ParallelTriangularSolver`, `IluPreconditioner`, the
+/// Krylov drivers) are built on it; heavy concurrent traffic can share one
+/// Runtime's plans across threads because `Plan::execute` is const (each
+/// concurrent execution still needs its own team).
+namespace rtl {
+
+class Runtime {
+ public:
+  /// Spawn a team of `num_threads` members and an empty plan cache.
+  explicit Runtime(int num_threads) : team_(num_threads) {}
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// The owned thread team. `ThreadTeam::run` is not itself concurrent-
+  /// safe: at most one execution may use this team at a time (spin up
+  /// separate teams for concurrent executions of a shared plan).
+  [[nodiscard]] ThreadTeam& team() noexcept { return team_; }
+
+  /// Team size (the processor count every cached plan targets).
+  [[nodiscard]] int size() const noexcept { return team_.size(); }
+
+  /// Return the cached plan for `graph`'s structure under `options`, or
+  /// run the inspector and cache the result. The key is (structure
+  /// fingerprint, vertex count, edge count, normalized options) — the team
+  /// size is part of the key implicitly, since a Runtime builds every plan
+  /// for its one fixed-size team. On a hit the inspector is skipped
+  /// entirely and `graph` is discarded. Thread-safe; on concurrent misses,
+  /// builds serialize on the cache mutex (the inspector may use the owned
+  /// team).
+  [[nodiscard]] std::shared_ptr<const Plan> plan_for(
+      DependenceGraph graph, DoconsiderOptions options = {});
+
+  /// Cache observability: lifetime hit/miss counts and current entries.
+  struct CacheCounters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] CacheCounters plan_cache_counters() const;
+
+  /// Drop every cached plan (shared_ptrs held by callers stay valid).
+  void clear_plan_cache();
+
+ private:
+  struct PlanKey {
+    std::uint64_t fingerprint;
+    index_t n;
+    index_t edges;
+    SchedulingPolicy scheduling;
+    ExecutionPolicy execution;
+    index_t window;
+    bool instrumented;
+
+    bool operator==(const PlanKey&) const = default;
+  };
+  struct PlanKeyHash {
+    std::size_t operator()(const PlanKey& k) const noexcept;
+  };
+
+  ThreadTeam team_;
+  mutable std::mutex mutex_;
+  std::unordered_map<PlanKey, std::shared_ptr<const Plan>, PlanKeyHash>
+      cache_;
+  std::uint64_t hits_ = 0;    // guarded by mutex_
+  std::uint64_t misses_ = 0;  // guarded by mutex_
+};
+
+}  // namespace rtl

@@ -43,6 +43,33 @@ DependenceGraph DependenceGraph::from_lists(
   return DependenceGraph(n, std::move(ptr), std::move(adj));
 }
 
+namespace {
+
+/// FNV-1a, 64-bit.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t word) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (word >> (8 * byte)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t DependenceGraph::fingerprint() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, static_cast<std::uint64_t>(n_));
+  // ptr_ is fully determined by n_ and the per-row degree deltas the adj_
+  // walk reflects, but hashing it keeps the fingerprint sensitive to empty
+  // rows at either end and costs one pass.
+  for (const index_t v : ptr_) h = fnv1a(h, static_cast<std::uint64_t>(v));
+  for (const index_t v : adj_) h = fnv1a(h, static_cast<std::uint64_t>(v));
+  return h;
+}
+
 bool DependenceGraph::is_forward_only() const noexcept {
   for (index_t i = 0; i < n_; ++i) {
     for (const index_t d : deps(i)) {

@@ -57,6 +57,12 @@ class DependenceGraph {
   /// start-time-schedulable shape produced by a sequential source loop.
   [[nodiscard]] bool is_forward_only() const noexcept;
 
+  /// Deterministic 64-bit structure fingerprint (FNV-1a over n and the CSR
+  /// arrays). Stable across processes and platforms for the fixed-width
+  /// `index_t`; the `rtl::Runtime` plan cache keys on it together with the
+  /// vertex and edge counts.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
   /// Reverse the graph: successor lists instead of predecessor lists.
   [[nodiscard]] DependenceGraph reversed() const;
 

@@ -1,5 +1,6 @@
-#include "core/executors.hpp"
+#include "model/calibration.hpp"
 
+#include "runtime/barrier.hpp"
 #include "runtime/timer.hpp"
 
 namespace rtl {

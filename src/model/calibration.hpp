@@ -1,0 +1,16 @@
+#pragma once
+
+#include "runtime/thread_team.hpp"
+
+/// Machine-cost calibration for the §4.2 model: measure the synchronization
+/// primitives whose costs (T_synch and friends) parameterize the analytic
+/// ratios in performance_model.hpp. Lives in the model layer because the
+/// model is the only consumer of these numbers; the executors themselves
+/// never need to know what a barrier costs.
+namespace rtl {
+
+/// Measure the cost of `count` consecutive global synchronizations on the
+/// team, in milliseconds — the T_synch calibration input of §4.2.
+[[nodiscard]] double measure_barrier_ms(ThreadTeam& team, int count);
+
+}  // namespace rtl

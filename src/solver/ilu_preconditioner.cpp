@@ -2,14 +2,26 @@
 
 namespace rtl {
 
+IluPreconditioner::IluPreconditioner(Runtime& rt, const CsrMatrix& a,
+                                     int level, DoconsiderOptions options)
+    : ilu_(a, level) {
+  factor_plan_ = rt.plan_for(ilu_.row_dependences(), options);
+  solver_ = std::make_unique<ParallelTriangularSolver>(rt, ilu_, options);
+  init_workspaces(rt.size());
+}
+
 IluPreconditioner::IluPreconditioner(ThreadTeam& team, const CsrMatrix& a,
                                      int level, DoconsiderOptions options)
     : ilu_(a, level) {
-  factor_plan_ =
-      std::make_unique<DoconsiderPlan>(team, ilu_.row_dependences(), options);
+  factor_plan_ = std::make_shared<const Plan>(team, ilu_.row_dependences(),
+                                              options);
   solver_ = std::make_unique<ParallelTriangularSolver>(team, ilu_, options);
-  workspaces_.reserve(static_cast<std::size_t>(team.size()));
-  for (int t = 0; t < team.size(); ++t) workspaces_.emplace_back(ilu_.size());
+  init_workspaces(team.size());
+}
+
+void IluPreconditioner::init_workspaces(int team_size) {
+  workspaces_.reserve(static_cast<std::size_t>(team_size));
+  for (int t = 0; t < team_size; ++t) workspaces_.emplace_back(ilu_.size());
   tmp_.resize(static_cast<std::size_t>(ilu_.size()));
 }
 

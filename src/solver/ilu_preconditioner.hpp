@@ -4,7 +4,8 @@
 #include <span>
 #include <vector>
 
-#include "core/doconsider.hpp"
+#include "core/plan.hpp"
+#include "core/runtime.hpp"
 #include "runtime/thread_team.hpp"
 #include "solver/parallel_triangular.hpp"
 #include "solver/preconditioner.hpp"
@@ -20,10 +21,16 @@ namespace rtl {
 /// II §2.3) and the inspectors for both the numeric factorization and the
 /// triangular solves; `factor()` runs the parallel numeric factorization
 /// (Figure 13's loop parallelized exactly like the solve) and may be called
-/// again whenever A's values change.
+/// again whenever A's values change. Built on a `Runtime`, the inspectors
+/// come from its structure-keyed plan cache, so rebuilding a preconditioner
+/// for a matrix with unchanged sparsity skips them entirely.
 class IluPreconditioner : public Preconditioner {
  public:
-  /// Symbolic phase + inspectors for `a` with fill level `level`.
+  /// Symbolic phase + cached inspectors for `a` with fill level `level`.
+  IluPreconditioner(Runtime& rt, const CsrMatrix& a, int level,
+                    DoconsiderOptions options = {});
+
+  /// Uncached variant: run the inspectors directly on `team`.
   IluPreconditioner(ThreadTeam& team, const CsrMatrix& a, int level,
                     DoconsiderOptions options = {});
 
@@ -41,10 +48,16 @@ class IluPreconditioner : public Preconditioner {
   [[nodiscard]] ParallelTriangularSolver& triangular_solver() noexcept {
     return *solver_;
   }
+  /// The numeric-factorization plan, exposed for instrumentation.
+  [[nodiscard]] const Plan& factor_plan() const noexcept {
+    return *factor_plan_;
+  }
 
  private:
+  void init_workspaces(int team_size);
+
   IluFactorization ilu_;
-  std::unique_ptr<DoconsiderPlan> factor_plan_;
+  std::shared_ptr<const Plan> factor_plan_;
   std::unique_ptr<ParallelTriangularSolver> solver_;
   std::vector<IluFactorization::Workspace> workspaces_;
   std::vector<real_t> tmp_;

@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "core/runtime.hpp"
 #include "runtime/thread_team.hpp"
 #include "solver/preconditioner.hpp"
 #include "sparse/csr.hpp"
@@ -47,5 +48,22 @@ KrylovResult gmres_solve(ThreadTeam& team, const CsrMatrix& a,
                          std::span<const real_t> b, std::span<real_t> x,
                          Preconditioner* precond,
                          const KrylovOptions& options = {});
+
+/// Runtime-context overloads: solve on `rt`'s owned team. Pair with
+/// preconditioners built on the same Runtime so their inspector plans come
+/// from (and populate) its structure-keyed cache.
+inline KrylovResult pcg_solve(Runtime& rt, const CsrMatrix& a,
+                              std::span<const real_t> b, std::span<real_t> x,
+                              Preconditioner* precond,
+                              const KrylovOptions& options = {}) {
+  return pcg_solve(rt.team(), a, b, x, precond, options);
+}
+
+inline KrylovResult gmres_solve(Runtime& rt, const CsrMatrix& a,
+                                std::span<const real_t> b,
+                                std::span<real_t> x, Preconditioner* precond,
+                                const KrylovOptions& options = {}) {
+  return gmres_solve(rt.team(), a, b, x, precond, options);
+}
 
 }  // namespace rtl

@@ -7,11 +7,18 @@
 namespace rtl {
 
 ParallelTriangularSolver::ParallelTriangularSolver(
+    Runtime& rt, const IluFactorization& ilu, DoconsiderOptions options)
+    : ilu_(&ilu) {
+  lower_plan_ = rt.plan_for(lower_solve_dependences(ilu.lower()), options);
+  upper_plan_ = rt.plan_for(upper_solve_dependences(ilu.upper()), options);
+}
+
+ParallelTriangularSolver::ParallelTriangularSolver(
     ThreadTeam& team, const IluFactorization& ilu, DoconsiderOptions options)
     : ilu_(&ilu) {
-  lower_plan_ = std::make_unique<DoconsiderPlan>(
+  lower_plan_ = std::make_shared<const Plan>(
       team, lower_solve_dependences(ilu.lower()), options);
-  upper_plan_ = std::make_unique<DoconsiderPlan>(
+  upper_plan_ = std::make_shared<const Plan>(
       team, upper_solve_dependences(ilu.upper()), options);
 }
 

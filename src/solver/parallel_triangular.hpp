@@ -3,7 +3,8 @@
 #include <memory>
 #include <span>
 
-#include "core/doconsider.hpp"
+#include "core/plan.hpp"
+#include "core/runtime.hpp"
 #include "runtime/thread_team.hpp"
 #include "sparse/ilu.hpp"
 
@@ -13,13 +14,20 @@ namespace rtl {
 
 /// Inspector/executor pair for forward + backward substitution with the
 /// factors of an `IluFactorization`. The inspector (wavefronts + schedule,
-/// for both the L graph and the reversed-order U graph) runs once in the
-/// constructor and is reused for every solve.
+/// for both the L graph and the reversed-order U graph) runs once — or,
+/// when built on a `Runtime`, is fetched from its structure-keyed plan
+/// cache — and the resulting immutable plans are reused for every solve.
 class ParallelTriangularSolver {
  public:
-  /// Plan solves of `ilu.lower()` / `ilu.upper()` on `team`.
-  /// `ilu` must outlive the solver; its *values* may change between solves
-  /// (re-factorization), its *structure* must not.
+  /// Plan solves of `ilu.lower()` / `ilu.upper()` using `rt`'s team and
+  /// plan cache: a rebuild for an unchanged sparsity structure skips the
+  /// inspector entirely. `ilu` must outlive the solver; its *values* may
+  /// change between solves (re-factorization), its *structure* must not.
+  ParallelTriangularSolver(Runtime& rt, const IluFactorization& ilu,
+                           DoconsiderOptions options = {});
+
+  /// Uncached variant: run the inspectors directly on `team`. Prefer the
+  /// `Runtime` constructor, which amortizes them across solver instances.
   ParallelTriangularSolver(ThreadTeam& team, const IluFactorization& ilu,
                            DoconsiderOptions options = {});
 
@@ -37,17 +45,17 @@ class ParallelTriangularSolver {
              std::span<real_t> tmp, std::span<real_t> y);
 
   /// Inspector state, exposed for instrumentation and tests.
-  [[nodiscard]] const DoconsiderPlan& lower_plan() const noexcept {
+  [[nodiscard]] const Plan& lower_plan() const noexcept {
     return *lower_plan_;
   }
-  [[nodiscard]] const DoconsiderPlan& upper_plan() const noexcept {
+  [[nodiscard]] const Plan& upper_plan() const noexcept {
     return *upper_plan_;
   }
 
  private:
   const IluFactorization* ilu_;
-  std::unique_ptr<DoconsiderPlan> lower_plan_;
-  std::unique_ptr<DoconsiderPlan> upper_plan_;
+  std::shared_ptr<const Plan> lower_plan_;
+  std::shared_ptr<const Plan> upper_plan_;
 };
 
 }  // namespace rtl

@@ -7,8 +7,8 @@
 #include <cmath>
 #include <vector>
 
-#include "core/doconsider.hpp"
 #include "core/executors.hpp"
+#include "core/plan.hpp"
 #include "sparse/ilu.hpp"
 #include "sparse/triangular.hpp"
 #include "workload/stencil.hpp"
@@ -280,7 +280,7 @@ TEST_P(ExecutorsTest, PlanIsReusableAcrossExecutions) {
   auto loop = SimpleLoop::make(300, 21);
   DoconsiderOptions opts;
   opts.execution = ExecutionPolicy::kSelfExecuting;
-  DoconsiderPlan plan(team, loop.dependences(), opts);
+  const Plan plan(team, loop.dependences(), opts);
   const auto expected = loop.sequential_result();
   for (int rep = 0; rep < 5; ++rep) {
     std::vector<real_t> x = loop.x0;
@@ -301,10 +301,11 @@ TEST_P(ExecutorsTest, ParallelInspectorProducesSamePlan) {
   DoconsiderOptions seq_opts;
   DoconsiderOptions par_opts;
   par_opts.parallel_inspector = true;
-  DoconsiderPlan a(team, loop.dependences(), seq_opts);
-  DoconsiderPlan b(team, loop.dependences(), par_opts);
+  const Plan a(team, loop.dependences(), seq_opts);
+  const Plan b(team, loop.dependences(), par_opts);
   EXPECT_EQ(a.wavefronts().wave, b.wavefronts().wave);
   EXPECT_EQ(a.schedule().order, b.schedule().order);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
 }
 
 TEST_P(ExecutorsTest, SelfScheduledMatchesSequential) {
@@ -438,11 +439,6 @@ TEST(ExecutorsEdge, MoreProcessorsThanIterations) {
     }
   });
   EXPECT_EQ(x, loop.sequential_result());
-}
-
-TEST(ExecutorsEdge, MeasureBarrierMsIsPositive) {
-  ThreadTeam team(4);
-  EXPECT_GT(measure_barrier_ms(team, 100), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Teams, ExecutorsTest,

@@ -7,7 +7,7 @@
 #include <cmath>
 
 #include "core/analysis.hpp"
-#include "core/doconsider.hpp"
+#include "core/plan.hpp"
 #include "graph/wavefront.hpp"
 #include "model/performance_model.hpp"
 #include "solver/ilu_preconditioner.hpp"

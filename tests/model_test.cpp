@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "model/calibration.hpp"
 #include "model/performance_model.hpp"
 
 namespace rtl {
@@ -164,6 +165,11 @@ TEST(ModelTest, SelfExecutingTimeScalesWithArrayCosts) {
   EXPECT_NEAR(self_executing_time(m, n, p, some) /
                   self_executing_time(m, n, p, none),
               1.0 + 0.5 + 2 * 0.25, 1e-12);
+}
+
+TEST(CalibrationTest, MeasureBarrierMsIsPositive) {
+  ThreadTeam team(4);
+  EXPECT_GT(measure_barrier_ms(team, 100), 0.0);
 }
 
 }  // namespace

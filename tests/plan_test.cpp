@@ -1,0 +1,318 @@
+// Tests for the Plan/Runtime API v2: immutable shareable plans, the
+// unified executor dispatch (every ExecutionPolicy through Plan::execute),
+// per-execution ExecState pooling, concurrent execution of one shared plan
+// from distinct teams, the structure fingerprint, and the Runtime's
+// structure-keyed plan cache.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/doconsider.hpp"
+#include "core/plan.hpp"
+#include "core/runtime.hpp"
+#include "solver/ilu_preconditioner.hpp"
+#include "workload/problems.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtl {
+namespace {
+
+/// The paper's Figure 3 recurrence: x(i) = x(i) + b(i) * x(ia(i)).
+struct SimpleLoop {
+  std::vector<index_t> ia;
+  std::vector<real_t> b;
+  std::vector<real_t> x0;
+
+  static SimpleLoop make(index_t n, std::uint64_t seed) {
+    SimpleLoop loop;
+    loop.ia.resize(static_cast<std::size_t>(n));
+    loop.b.resize(static_cast<std::size_t>(n));
+    loop.x0.resize(static_cast<std::size_t>(n));
+    std::uint64_t s = seed;
+    const auto next = [&s] {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      return s >> 33;
+    };
+    for (index_t i = 0; i < n; ++i) {
+      loop.ia[static_cast<std::size_t>(i)] =
+          i == 0 ? 0 : static_cast<index_t>(next() % i);
+      loop.b[static_cast<std::size_t>(i)] =
+          0.001 * static_cast<real_t>(next() % 1000);
+      loop.x0[static_cast<std::size_t>(i)] =
+          0.001 * static_cast<real_t>(next() % 1000);
+    }
+    return loop;
+  }
+
+  [[nodiscard]] DependenceGraph dependences() const {
+    std::vector<std::vector<index_t>> preds(ia.size());
+    for (index_t i = 1; i < static_cast<index_t>(ia.size()); ++i) {
+      preds[static_cast<std::size_t>(i)].push_back(
+          ia[static_cast<std::size_t>(i)]);
+    }
+    return DependenceGraph::from_lists(preds);
+  }
+
+  [[nodiscard]] std::vector<real_t> sequential_result() const {
+    std::vector<real_t> x = x0;
+    for (std::size_t i = 1; i < x.size(); ++i) {
+      x[i] += b[i] * x[static_cast<std::size_t>(ia[i])];
+    }
+    return x;
+  }
+
+  /// The recurrence body writing into `x`.
+  [[nodiscard]] auto body(std::vector<real_t>& x) const {
+    return [this, &x](index_t i) {
+      if (i > 0) {
+        x[static_cast<std::size_t>(i)] +=
+            b[static_cast<std::size_t>(i)] *
+            x[static_cast<std::size_t>(ia[static_cast<std::size_t>(i)])];
+      }
+    };
+  }
+};
+
+class PlanTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanTest, EveryExecutionPolicyMatchesSequential) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(457, 71);
+  const auto expected = loop.sequential_result();
+  for (const auto sched :
+       {SchedulingPolicy::kGlobal, SchedulingPolicy::kLocalWrapped,
+        SchedulingPolicy::kLocalBlock}) {
+    for (const auto exec :
+         {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting,
+          ExecutionPolicy::kDoAcross, ExecutionPolicy::kSelfScheduled,
+          ExecutionPolicy::kWindowed}) {
+      DoconsiderOptions opts;
+      opts.scheduling = sched;
+      opts.execution = exec;
+      opts.window = 3;
+      const Plan plan(team, loop.dependences(), opts);
+      std::vector<real_t> x = loop.x0;
+      plan.execute(team, loop.body(x));
+      EXPECT_EQ(x, expected) << "sched=" << static_cast<int>(sched)
+                             << " exec=" << static_cast<int>(exec);
+    }
+  }
+}
+
+TEST_P(PlanTest, InstrumentedRotatingVariantsRunEveryIndexPTimes) {
+  ThreadTeam team(GetParam());
+  const index_t n = 301;
+  auto loop = SimpleLoop::make(n, 72);
+  for (const auto exec :
+       {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting}) {
+    DoconsiderOptions opts;
+    opts.execution = exec;
+    opts.instrumented = true;
+    const Plan plan(team, loop.dependences(), opts);
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    for (auto& h : hits) h.store(0);
+    plan.execute(team, [&](index_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), team.size());
+  }
+}
+
+TEST_P(PlanTest, ExplicitExecStateIsReusableAcrossExecutions) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(388, 73);
+  DoconsiderOptions opts;
+  opts.execution = ExecutionPolicy::kSelfScheduled;
+  const Plan plan(team, loop.dependences(), opts);
+  ExecState state(plan);
+  const auto expected = loop.sequential_result();
+  for (int rep = 0; rep < 4; ++rep) {
+    std::vector<real_t> x = loop.x0;
+    plan.execute(team, loop.body(x), state);
+    EXPECT_EQ(x, expected) << "repetition " << rep;
+  }
+}
+
+TEST_P(PlanTest, PooledExecuteIsRepeatable) {
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(300, 74);
+  DoconsiderOptions opts;
+  opts.execution = ExecutionPolicy::kSelfExecuting;
+  const Plan plan(team, loop.dependences(), opts);
+  const auto expected = loop.sequential_result();
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<real_t> x = loop.x0;
+    plan.execute(team, loop.body(x));
+    EXPECT_EQ(x, expected) << "repetition " << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Teams, PlanTest, ::testing::Values(1, 2, 4));
+
+TEST(PlanConcurrency, TwoTeamsExecuteTheSameSharedPlanSimultaneously) {
+  // The v2 contract the old DoconsiderPlan could not honor: one const Plan,
+  // two independent thread teams, concurrent executions on independent
+  // vectors (per-execution state comes from the plan's pool). Both results
+  // must match the sequential reference. Runs under the TSan CI job.
+  constexpr int kTeamSize = 2;
+  constexpr int kRounds = 3;
+  auto loop = SimpleLoop::make(400, 75);
+  const auto expected = loop.sequential_result();
+
+  ThreadTeam team_a(kTeamSize);
+  ThreadTeam team_b(kTeamSize);
+  DoconsiderOptions opts;
+  opts.execution = ExecutionPolicy::kSelfExecuting;
+  const Plan plan(team_a, loop.dependences(), opts);
+
+  std::vector<real_t> xa, xb;
+  const auto run = [&](ThreadTeam& team, std::vector<real_t>& x) {
+    for (int round = 0; round < kRounds; ++round) {
+      x = loop.x0;
+      plan.execute(team, loop.body(x));
+    }
+  };
+  std::thread worker([&] { run(team_b, xb); });
+  run(team_a, xa);
+  worker.join();
+
+  EXPECT_EQ(xa, expected);
+  EXPECT_EQ(xb, expected);
+}
+
+TEST(Fingerprint, DeterministicAndStructureSensitive) {
+  const auto g1 = SimpleLoop::make(256, 80).dependences();
+  const auto g2 = SimpleLoop::make(256, 80).dependences();
+  const auto g3 = SimpleLoop::make(256, 81).dependences();
+  EXPECT_EQ(g1.fingerprint(), g2.fingerprint());
+  EXPECT_NE(g1.fingerprint(), g3.fingerprint());
+}
+
+TEST(RuntimeCache, WarmHitSkipsTheInspectorEntirely) {
+  Runtime rt(2);
+  const auto g = SimpleLoop::make(300, 82).dependences();
+
+  const auto cold = rt.plan_for(DependenceGraph(g));
+  auto cc = rt.plan_cache_counters();
+  EXPECT_EQ(cc.hits, 0u);
+  EXPECT_EQ(cc.misses, 1u);
+  EXPECT_EQ(cc.entries, 1u);
+
+  const auto warm = rt.plan_for(DependenceGraph(g));
+  cc = rt.plan_cache_counters();
+  EXPECT_EQ(cc.hits, 1u);
+  EXPECT_EQ(cc.misses, 1u);
+  EXPECT_EQ(cc.entries, 1u);
+  // Same artifact, not an equivalent rebuild: the inspector did not run.
+  EXPECT_EQ(cold.get(), warm.get());
+}
+
+TEST(RuntimeCache, KeyDiscriminatesStructureAndOptions) {
+  Runtime rt(2);
+  const auto g = SimpleLoop::make(300, 83).dependences();
+  const auto other = SimpleLoop::make(300, 84).dependences();
+
+  DoconsiderOptions self_opts;
+  self_opts.execution = ExecutionPolicy::kSelfExecuting;
+  DoconsiderOptions pre_opts;
+  pre_opts.execution = ExecutionPolicy::kPreScheduled;
+
+  const auto a = rt.plan_for(DependenceGraph(g), self_opts);
+  const auto b = rt.plan_for(DependenceGraph(g), pre_opts);
+  const auto c = rt.plan_for(DependenceGraph(other), self_opts);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  const auto cc = rt.plan_cache_counters();
+  EXPECT_EQ(cc.misses, 3u);
+  EXPECT_EQ(cc.entries, 3u);
+}
+
+TEST(RuntimeCache, IrrelevantOptionFieldsAreNormalizedInTheKey) {
+  Runtime rt(2);
+  const auto g = SimpleLoop::make(200, 85).dependences();
+  DoconsiderOptions a;
+  a.execution = ExecutionPolicy::kSelfExecuting;
+  a.window = 2;  // meaningless for kSelfExecuting
+  DoconsiderOptions b = a;
+  b.window = 9;
+  b.parallel_inspector = true;  // build-speed knob, not an artifact knob
+  const auto pa = rt.plan_for(DependenceGraph(g), a);
+  const auto pb = rt.plan_for(DependenceGraph(g), b);
+  EXPECT_EQ(pa.get(), pb.get());
+  EXPECT_EQ(rt.plan_cache_counters().hits, 1u);
+
+  // kDoAcross ignores the schedule, so the scheduling policy is
+  // canonicalized too.
+  DoconsiderOptions da1;
+  da1.execution = ExecutionPolicy::kDoAcross;
+  DoconsiderOptions da2 = da1;
+  da2.scheduling = SchedulingPolicy::kLocalWrapped;
+  const auto pd1 = rt.plan_for(DependenceGraph(g), da1);
+  const auto pd2 = rt.plan_for(DependenceGraph(g), da2);
+  EXPECT_EQ(pd1.get(), pd2.get());
+}
+
+TEST(RuntimeCache, ClearDropsEntriesButKeepsHandlesValid) {
+  Runtime rt(2);
+  auto loop = SimpleLoop::make(200, 86);
+  const auto plan = rt.plan_for(loop.dependences());
+  rt.clear_plan_cache();
+  EXPECT_EQ(rt.plan_cache_counters().entries, 0u);
+  // The caller's shared_ptr keeps the plan alive and executable.
+  std::vector<real_t> x = loop.x0;
+  plan->execute(rt.team(), loop.body(x));
+  EXPECT_EQ(x, loop.sequential_result());
+}
+
+TEST(RuntimeCache, RepeatedPreconditionerSetupReusesCachedPlans) {
+  // The re-factorization scenario of §5.1.1: same sparsity structure,
+  // fresh preconditioner. The second setup must pay zero inspector misses.
+  Runtime rt(2);
+  const auto prob = make_5pt();
+  DoconsiderOptions opts;
+  opts.execution = ExecutionPolicy::kSelfExecuting;
+
+  IluPreconditioner first(rt, prob.system.a, 0, opts);
+  const auto after_first = rt.plan_cache_counters();
+  EXPECT_GT(after_first.misses, 0u);
+
+  IluPreconditioner second(rt, prob.system.a, 0, opts);
+  const auto after_second = rt.plan_cache_counters();
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_GE(after_second.hits, after_first.hits + 3u);
+
+  // Both preconditioners share the very same plan objects.
+  EXPECT_EQ(&first.triangular_solver().lower_plan(),
+            &second.triangular_solver().lower_plan());
+
+  // And both still solve correctly.
+  first.factor(rt.team(), prob.system.a);
+  second.factor(rt.team(), prob.system.a);
+  const index_t n = prob.system.a.rows();
+  std::vector<real_t> z1(static_cast<std::size_t>(n)),
+      z2(static_cast<std::size_t>(n));
+  first.apply(rt.team(), prob.system.rhs, z1);
+  second.apply(rt.team(), prob.system.rhs, z2);
+  EXPECT_EQ(z1, z2);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(DoconsiderCompat, DeprecatedShimStillExecutes) {
+  ThreadTeam team(2);
+  auto loop = SimpleLoop::make(222, 87);
+  DoconsiderOptions opts;
+  opts.execution = ExecutionPolicy::kSelfExecuting;
+  DoconsiderPlan plan(team, loop.dependences(), opts);
+  std::vector<real_t> x = loop.x0;
+  plan.execute(team, loop.body(x));
+  EXPECT_EQ(x, loop.sequential_result());
+  EXPECT_EQ(plan.plan().fingerprint(), loop.dependences().fingerprint());
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace rtl

@@ -10,7 +10,7 @@
 #include <random>
 
 #include "core/analysis.hpp"
-#include "core/doconsider.hpp"
+#include "core/plan.hpp"
 #include "graph/wavefront.hpp"
 #include "workload/synthetic.hpp"
 
