@@ -68,6 +68,7 @@ int main() {
                       one_pe_par_estimate, "ms-derived");
     report.add_scalar(c.name, "one_pe_sequential_estimate_ms",
                       one_pe_seq_estimate, "ms-derived");
+    report.add_plan_stats(c.name, plan.stats());
   }
 
   std::printf(

@@ -151,6 +151,25 @@ void Reporter::add_scalar(const std::string& group, const std::string& metric,
   records_.push_back(Record{group, metric, unit, scalar_stat(value)});
 }
 
+void Reporter::add_plan_stats(const std::string& group,
+                              const PlanStats& stats) {
+  add_scalar(group, "plan_phases", static_cast<double>(stats.phases),
+             "count");
+  add_scalar(group, "plan_max_wavefront",
+             static_cast<double>(stats.max_wavefront), "count");
+  add_scalar(group, "plan_avg_wavefront", stats.avg_wavefront, "count");
+  add_scalar(group, "plan_bytes", static_cast<double>(stats.bytes), "bytes");
+}
+
+void Reporter::add_plan_cache(const Runtime::CacheCounters& counters) {
+  add_scalar("plan_cache", "hits", static_cast<double>(counters.hits),
+             "count");
+  add_scalar("plan_cache", "misses", static_cast<double>(counters.misses),
+             "count");
+  add_scalar("plan_cache", "entries", static_cast<double>(counters.entries),
+             "count");
+}
+
 void Reporter::add_config(const std::string& key, const std::string& value) {
   extra_config_.emplace_back(key, value);
 }

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/plan.hpp"
+#include "core/runtime.hpp"
 #include "runtime/timer.hpp"
 
 /// Machine-tagged JSON benchmark reporting.
@@ -100,6 +102,17 @@ class Reporter {
   /// Record a derived single value (efficiency, count, estimate).
   void add_scalar(const std::string& group, const std::string& metric,
                   double value, const std::string& unit = "");
+
+  /// Record a plan's inspector-artifact shape and footprint: phase count,
+  /// max/avg wavefront width ("count") and `Plan::memory_footprint()`
+  /// bytes ("bytes"). Non-time units, so these inform trend data without
+  /// gating.
+  void add_plan_stats(const std::string& group, const PlanStats& stats);
+
+  /// Record `Runtime` plan-cache efficacy (hits/misses/entries, "count")
+  /// under the `plan_cache` group, so repeated-structure amortization
+  /// (§5.1.1) shows up in the JSON trend data.
+  void add_plan_cache(const Runtime::CacheCounters& counters);
 
   /// Attach an extra config entry (beyond the standard RTL_* knobs).
   void add_config(const std::string& key, const std::string& value);

@@ -114,11 +114,10 @@ int main(int argc, char** argv) {
     const auto wf = compute_wavefronts(g);
     const double sort_ms = sort_timer.elapsed_ms();
 
-    const auto sizes = wf.wave_sizes();
     index_t min_w = a.rows(), max_w = 0;
-    for (const index_t s : sizes) {
-      min_w = std::min(min_w, s);
-      max_w = std::max(max_w, s);
+    for (index_t w = 0; w < wf.num_waves; ++w) {
+      min_w = std::min(min_w, wf.wave_size(w));
+      max_w = std::max(max_w, wf.wave_size(w));
     }
     std::printf(
         "wavefronts : %d (sort %.2f ms); width min/avg/max = %d / %.1f / "
@@ -161,6 +160,18 @@ int main(int argc, char** argv) {
         "plan cache       : %llu hit(s), %llu miss(es), %zu cached plan(s)\n",
         static_cast<unsigned long long>(cc.hits),
         static_cast<unsigned long long>(cc.misses), cc.entries);
+
+    // The flat inspector artifact: what the executor walks on every run.
+    const PlanStats st = cold->stats();
+    std::printf(
+        "plan artifact    : %d phases, wavefront width max/avg = %d / %.1f\n",
+        st.phases, st.max_wavefront, st.avg_wavefront);
+    std::printf(
+        "plan footprint   : %.1f KiB flat CSR (%.1f B/row: dependence CSR + "
+        "wavefront membership + schedule)\n",
+        static_cast<double>(st.bytes) / 1024.0,
+        st.n > 0 ? static_cast<double>(st.bytes) / static_cast<double>(st.n)
+                 : 0.0);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Header self-containment check: compile every public header under src/
+# standalone (-fsyntax-only), so an #include an interface header forgot —
+# e.g. after a refactor shrinks what a core header transitively drags in —
+# fails here instead of in whichever includer happens to build first.
+#
+# Usage: scripts/check_headers.sh [compiler]
+#   compiler   C++ compiler to use (default: $CXX, else c++)
+#
+# Registered as the `header_self_containment` ctest (label: quick).
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CXX_BIN="${1:-${CXX:-c++}}"
+
+fail=0
+checked=0
+for header in $(find "$REPO_ROOT/src" -name '*.hpp' | LC_ALL=C sort); do
+  checked=$((checked + 1))
+  if ! err=$("$CXX_BIN" -std=c++20 -fsyntax-only -Wall -Wextra \
+             -I "$REPO_ROOT/src" -x c++ "$header" 2>&1); then
+    echo "NOT self-contained: ${header#"$REPO_ROOT"/}"
+    echo "$err" | head -20
+    fail=1
+  fi
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "check_headers.sh: no headers found under src/ — wrong checkout?"
+  exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+  echo "header self-containment check FAILED"
+  exit 1
+fi
+echo "all $checked headers under src/ compile standalone"

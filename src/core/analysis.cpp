@@ -29,7 +29,7 @@ double simulate(const Schedule& s, const DependenceGraph& g,
   while (remaining > 0) {
     bool progress = false;
     for (int p = 0; p < s.nproc; ++p) {
-      const auto& ord = s.order[static_cast<std::size_t>(p)];
+      const auto ord = s.proc(p);
       auto& cur = cursor[static_cast<std::size_t>(p)];
       while (cur < ord.size()) {
         const index_t i = ord[cur];

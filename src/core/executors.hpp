@@ -1,36 +1,94 @@
 #pragma once
 
-#include <algorithm>
-#include <atomic>
-#include <cassert>
 #include <type_traits>
-#include <utility>
 
-#include "core/schedule.hpp"
-#include "graph/dependence_graph.hpp"
-#include "runtime/barrier.hpp"
-#include "runtime/ready_flags.hpp"
-#include "runtime/thread_team.hpp"
+#include "runtime/types.hpp"
 
-/// The executors: transformed loop structures that carry out the
-/// calculations planned by the scheduler (§1, §2.2).
+/// Executor policy surface: which transformed loop structure (§1, §2.2)
+/// a `Plan` compiles down to, and the option block selecting it.
 ///
-/// `body(i)` performs the work of outer-loop iteration i. All executors
-/// guarantee that `body(i)` runs only after `body(d)` completed for every
-/// d in `deps(i)`; they differ in how that guarantee is enforced:
+/// The executor loops themselves are private, span-driven methods of
+/// `rtl::Plan` (core/plan.hpp) — the schedule they walk is the plan's flat
+/// CSR artifact, so the loops and the layout evolve together. This header
+/// keeps only the support types shared by the plan, the `rtl::Runtime`
+/// cache key, and the callers that configure them:
 ///
 ///  * pre-scheduled (Figure 5): a global synchronization separates
-///    consecutive wavefronts, so the guarantee is positional;
+///    consecutive wavefronts, so the dependence guarantee is positional;
 ///  * self-executing (Figure 4): each iteration publishes a shared ready
 ///    flag, and consumers busy-wait on the flags of their dependences —
 ///    "a doacross loop that executes loop iterations in a modified order";
 ///  * doacross (§5.1.2 baseline): the self-executing mechanism over the
-///    *original* index order.
-///
-/// The "rotating-processor" instrumented variants reproduce the §5.1.2
-/// measurement methodology: perfect load balance, all synchronization
-/// memory traffic, no actual waiting.
+///    *original* index order;
+///  * self-scheduled / windowed: the fetch-and-add and bounded-skew
+///    extensions (§3; Nicol & Saltz [13]).
 namespace rtl {
+
+/// How the index set is reordered (§2.3).
+enum class SchedulingPolicy {
+  /// Topological sort of the whole index set, dealt wrapped to processors.
+  kGlobal,
+  /// Fixed wrapped partition; each processor locally sorted by wavefront.
+  kLocalWrapped,
+  /// Fixed block partition; each processor locally sorted by wavefront.
+  kLocalBlock,
+};
+
+/// How dependences are enforced during execution (§2.2 + extensions).
+enum class ExecutionPolicy {
+  /// Global synchronization between wavefronts (Figure 5).
+  kPreScheduled,
+  /// Busy-waits on a shared ready array (Figure 4).
+  kSelfExecuting,
+  /// Original iteration order + ready array (the baseline of §5.1.2).
+  kDoAcross,
+  /// Threads claim wavefront-sorted indices from a shared fetch-and-add
+  /// cursor (extension; cf. the self-scheduling schemes discussed in §3).
+  kSelfScheduled,
+  /// Global barrier every `DoconsiderOptions::window` wavefronts, ready
+  /// flags inside each window (extension; cf. Nicol & Saltz [13]).
+  kWindowed,
+};
+
+/// Plan options.
+struct DoconsiderOptions {
+  SchedulingPolicy scheduling = SchedulingPolicy::kGlobal;
+  ExecutionPolicy execution = ExecutionPolicy::kSelfExecuting;
+  /// Run the inspector's wavefront sweep in parallel on the team (§2.3).
+  /// Does not change the produced artifact, only how fast it is built.
+  bool parallel_inspector = false;
+  /// kWindowed only: number of wavefronts between global barriers (>= 1).
+  index_t window = 4;
+  /// kPreScheduled / kSelfExecuting only: run the §5.1.2 rotating
+  /// instrumented variant — every processor executes all schedules, so the
+  /// run is perfectly load balanced, does P times the work, keeps all
+  /// synchronization memory traffic but never actually waits.
+  bool instrumented = false;
+};
+
+/// Options with the fields that do not apply to `execution` forced to a
+/// canonical value, so equivalent requests compare (and cache-key) equal.
+[[nodiscard]] constexpr DoconsiderOptions normalized_options(
+    DoconsiderOptions o) noexcept {
+  if (o.execution == ExecutionPolicy::kWindowed) {
+    if (o.window < 1) o.window = 1;
+  } else {
+    o.window = 0;
+  }
+  if (o.execution != ExecutionPolicy::kPreScheduled &&
+      o.execution != ExecutionPolicy::kSelfExecuting) {
+    o.instrumented = false;
+  }
+  // kDoAcross runs the original index order and kSelfScheduled consumes
+  // only the wavefront-sorted list, so the scheduling policy cannot
+  // influence execution; canonicalize it so equivalent requests share one
+  // cache entry.
+  if (o.execution == ExecutionPolicy::kDoAcross ||
+      o.execution == ExecutionPolicy::kSelfScheduled) {
+    o.scheduling = SchedulingPolicy::kGlobal;
+  }
+  return o;
+}
 
 namespace detail {
 
@@ -47,172 +105,5 @@ inline void invoke_body(Body& body, int tid, index_t i) {
 }
 
 }  // namespace detail
-
-/// Pre-scheduled executor: every processor runs its phase-w indices, then
-/// joins a global barrier, for each phase in turn (Figure 5).
-template <class Body>
-void execute_prescheduled(ThreadTeam& team, const Schedule& s, Body&& body) {
-  team.run([&](int tid) {
-    BarrierToken bar(team.barrier());
-    const auto& ord = s.order[static_cast<std::size_t>(tid)];
-    const auto& ptr = s.phase_ptr[static_cast<std::size_t>(tid)];
-    for (index_t w = 0; w < s.num_phases; ++w) {
-      for (index_t k = ptr[static_cast<std::size_t>(w)];
-           k < ptr[static_cast<std::size_t>(w) + 1]; ++k) {
-        detail::invoke_body(body, tid, ord[static_cast<std::size_t>(k)]);
-      }
-      bar.wait();
-    }
-  });
-}
-
-/// Self-executing executor: busy-wait on the ready flags of each
-/// dependence, run the body, publish completion (Figure 4). `ready` must
-/// have at least `s.n` flags; it is reset on entry.
-template <class Body>
-void execute_self(ThreadTeam& team, const Schedule& s,
-                  const DependenceGraph& g, ReadyFlags& ready, Body&& body) {
-  ready.reset();
-  team.run([&](int tid) {
-    for (const index_t i : s.order[static_cast<std::size_t>(tid)]) {
-      for (const index_t d : g.deps(i)) ready.wait(d);
-      detail::invoke_body(body, tid, i);
-      ready.set(i);
-    }
-  });
-}
-
-/// Doacross baseline: original iteration order striped over processors,
-/// synchronized through the ready array. Equivalent to `execute_self` with
-/// `original_order_schedule` but without any indirection through a
-/// reordered index list (the paper notes the doacross loop "does not have
-/// to perform array references to access the reordered index set").
-template <class Body>
-void execute_doacross(ThreadTeam& team, index_t n, const DependenceGraph& g,
-                      ReadyFlags& ready, Body&& body) {
-  ready.reset();
-  const int p = team.size();
-  team.run([&](int tid) {
-    for (index_t i = tid; i < n; i += p) {
-      for (const index_t d : g.deps(i)) ready.wait(d);
-      detail::invoke_body(body, tid, i);
-      ready.set(i);
-    }
-  });
-}
-
-/// Rotating-processor run of the self-executing code (§5.1.2): every
-/// processor executes the schedules of *all* processors in rotation, so the
-/// run is perfectly load balanced and does P times the work. All ready-flag
-/// reads and writes still occur, but flags are pre-set so no waiting
-/// happens. Returns nothing; time it externally and divide by P.
-template <class Body>
-void execute_rotating_self(ThreadTeam& team, const Schedule& s,
-                           const DependenceGraph& g, ReadyFlags& ready,
-                           Body&& body) {
-  // Pre-publish every flag: the wait loops fall through on first read.
-  ready.reset();
-  for (index_t i = 0; i < s.n; ++i) ready.set(i);
-  const int p = team.size();
-  team.run([&](int tid) {
-    for (int shift = 0; shift < p; ++shift) {
-      const int owner = (tid + shift) % p;
-      for (const index_t i : s.order[static_cast<std::size_t>(owner)]) {
-        for (const index_t d : g.deps(i)) ready.wait(d);
-        detail::invoke_body(body, tid, i);
-        ready.set(i);
-      }
-    }
-  });
-}
-
-/// Rotating-processor run of the pre-scheduled code (§5.1.2): like
-/// `execute_rotating_self` but with neither barriers nor ready-array
-/// traffic (the pre-scheduled loop keeps no completion array).
-template <class Body>
-void execute_rotating_prescheduled(ThreadTeam& team, const Schedule& s,
-                                   Body&& body) {
-  const int p = team.size();
-  team.run([&](int tid) {
-    for (int shift = 0; shift < p; ++shift) {
-      const int owner = (tid + shift) % p;
-      for (const index_t i : s.order[static_cast<std::size_t>(owner)]) {
-        detail::invoke_body(body, tid, i);
-      }
-    }
-  });
-}
-
-/// Dynamically self-scheduled executor (extension; cf. the self-scheduling
-/// schemes of Lusk/Overbeek and Tang/Yew discussed in §3): instead of a
-/// static index-to-processor assignment, threads claim consecutive entries
-/// of the wavefront-sorted list from a shared fetch-and-add cursor, and
-/// dependences are still enforced through the ready array. Trades the
-/// cursor's contention for automatic load balance when per-iteration work
-/// is irregular. `order` must be a dependence-consistent permutation of
-/// 0..n-1 (e.g. `wavefront_sorted_list`).
-template <class Body>
-void execute_self_scheduled(ThreadTeam& team,
-                            const std::vector<index_t>& order,
-                            const DependenceGraph& g, ReadyFlags& ready,
-                            std::atomic<index_t>& cursor, Body&& body) {
-  ready.reset();
-  cursor.store(0, std::memory_order_relaxed);
-  const index_t n = static_cast<index_t>(order.size());
-  team.run([&](int tid) {
-    for (;;) {
-      const index_t k = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (k >= n) break;
-      const index_t i = order[static_cast<std::size_t>(k)];
-      for (const index_t d : g.deps(i)) ready.wait(d);
-      detail::invoke_body(body, tid, i);
-      ready.set(i);
-    }
-  });
-}
-
-/// Overload with a call-local cursor (one-shot use).
-template <class Body>
-void execute_self_scheduled(ThreadTeam& team,
-                            const std::vector<index_t>& order,
-                            const DependenceGraph& g, ReadyFlags& ready,
-                            Body&& body) {
-  alignas(cache_line_size) std::atomic<index_t> cursor{0};
-  execute_self_scheduled(team, order, g, ready, cursor,
-                         std::forward<Body>(body));
-}
-
-/// Windowed hybrid executor (extension): global synchronization every
-/// `window` wavefronts, ready-array busy-waits *inside* each window.
-/// Interpolates between the paper's two executors — window = 1 is the
-/// pre-scheduled loop with (redundant) flag traffic, window >= num_phases
-/// is the self-executing loop with one trailing barrier. The flags make
-/// intra-window cross-processor dependences safe, so any window size is
-/// correct; the barrier bounds how far the wavefront pipeline can skew,
-/// which caps the ready-flag working set. Cf. the synchronization-
-/// rearrangement tradeoff of Nicol & Saltz [13].
-template <class Body>
-void execute_windowed(ThreadTeam& team, const Schedule& s,
-                      const DependenceGraph& g, ReadyFlags& ready,
-                      index_t window, Body&& body) {
-  assert(window >= 1);
-  ready.reset();
-  team.run([&](int tid) {
-    BarrierToken bar(team.barrier());
-    const auto& ord = s.order[static_cast<std::size_t>(tid)];
-    const auto& ptr = s.phase_ptr[static_cast<std::size_t>(tid)];
-    for (index_t w0 = 0; w0 < s.num_phases; w0 += window) {
-      const index_t w1 = std::min(s.num_phases, w0 + window);
-      for (index_t k = ptr[static_cast<std::size_t>(w0)];
-           k < ptr[static_cast<std::size_t>(w1)]; ++k) {
-        const index_t i = ord[static_cast<std::size_t>(k)];
-        for (const index_t d : g.deps(i)) ready.wait(d);
-        detail::invoke_body(body, tid, i);
-        ready.set(i);
-      }
-      bar.wait();
-    }
-  });
-}
 
 }  // namespace rtl

@@ -14,14 +14,19 @@ Partition::Partition(int nproc, std::vector<int> owner)
       throw std::invalid_argument("Partition: owner out of range");
     }
   }
-}
-
-std::vector<std::vector<index_t>> Partition::members() const {
-  std::vector<std::vector<index_t>> m(static_cast<std::size_t>(nproc_));
-  for (index_t i = 0; i < size(); ++i) {
-    m[static_cast<std::size_t>(owner(i))].push_back(i);
+  // Inverse map as a counting sort: CSR offsets, then a stable fill so
+  // each processor's members stay in increasing index order.
+  member_ptr_.assign(static_cast<std::size_t>(nproc) + 1, 0);
+  for (const int p : owner_) ++member_ptr_[static_cast<std::size_t>(p) + 1];
+  for (std::size_t p = 0; p + 1 < member_ptr_.size(); ++p) {
+    member_ptr_[p + 1] += member_ptr_[p];
   }
-  return m;
+  member_.resize(owner_.size());
+  std::vector<index_t> cursor(member_ptr_.begin(), member_ptr_.end() - 1);
+  for (index_t i = 0; i < size(); ++i) {
+    member_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(
+        owner_[static_cast<std::size_t>(i)])]++)] = i;
+  }
 }
 
 Partition block_partition(index_t n, int nproc) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "runtime/types.hpp"
@@ -14,7 +15,10 @@
 /// re-deals the sorted index list.
 namespace rtl {
 
-/// A fixed assignment of loop indices to processors.
+/// A fixed assignment of loop indices to processors. Alongside the owner
+/// array it stores the inverse map in CSR layout — one contiguous
+/// `member` array plus nproc+1 offsets — so `members(p)` is a zero-copy
+/// span (the local scheduler's hot input).
 class Partition {
  public:
   Partition() = default;
@@ -33,12 +37,19 @@ class Partition {
     return owner_[static_cast<std::size_t>(i)];
   }
 
-  /// Indices owned by processor p, in increasing index order.
-  [[nodiscard]] std::vector<std::vector<index_t>> members() const;
+  /// Indices owned by processor p, in increasing index order (zero-copy).
+  [[nodiscard]] std::span<const index_t> members(int p) const noexcept {
+    return {member_.data() + member_ptr_[static_cast<std::size_t>(p)],
+            member_.data() + member_ptr_[static_cast<std::size_t>(p) + 1]};
+  }
 
  private:
   int nproc_ = 0;
   std::vector<int> owner_;
+  /// All indices grouped by owner: processor p owns
+  /// member_[member_ptr_[p] .. member_ptr_[p+1]), increasing within p.
+  std::vector<index_t> member_;
+  std::vector<index_t> member_ptr_{0};
 };
 
 /// Contiguous blocks of roughly equal size (Appendix II §2.1).

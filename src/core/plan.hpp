@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -13,10 +15,11 @@
 #include "core/schedule.hpp"
 #include "graph/dependence_graph.hpp"
 #include "graph/wavefront.hpp"
+#include "runtime/barrier.hpp"
 #include "runtime/ready_flags.hpp"
 #include "runtime/thread_team.hpp"
 
-/// Plan/Runtime API v2 — the inspector artifact and its execution state.
+/// Plan/Runtime API v2 — the inspector artifact and its execution engine.
 ///
 /// The paper's whole economic argument is that the inspector is paid once
 /// and amortized over many executor runs (§5.1.1). The v2 API makes that
@@ -27,81 +30,36 @@
 /// Figure 4, the self-scheduling cursor) lives in an `ExecState` that is
 /// created — or transparently pooled — at execute() time.
 ///
-/// Every executor shape is reachable through `Plan::execute` via
-/// `ExecutionPolicy` (including the dynamically self-scheduled and
-/// windowed-hybrid extensions, and the §5.1.2 rotating instrumented
-/// variants behind `DoconsiderOptions::instrumented`); the `execute_*`
-/// free functions in core/executors.hpp remain as the low-level layer the
-/// dispatch compiles down to.
+/// Because the inspector artifact is the executor's hot-path data
+/// structure, it is stored flat: the schedule and wavefront membership are
+/// contiguous CSR-style arrays (core/schedule.hpp, graph/wavefront.hpp),
+/// and every executor shape — reachable through `Plan::execute` via
+/// `ExecutionPolicy`, including the dynamically self-scheduled and
+/// windowed-hybrid extensions and the §5.1.2 rotating instrumented
+/// variants behind `DoconsiderOptions::instrumented` — is a private,
+/// span-driven method of `Plan`, templated on the body (no `std::function`
+/// in the loop). `memory_footprint()` / `stats()` expose the artifact's
+/// size and shape for CLIs and the bench JSON.
 namespace rtl {
 
-/// How the index set is reordered (§2.3).
-enum class SchedulingPolicy {
-  /// Topological sort of the whole index set, dealt wrapped to processors.
-  kGlobal,
-  /// Fixed wrapped partition; each processor locally sorted by wavefront.
-  kLocalWrapped,
-  /// Fixed block partition; each processor locally sorted by wavefront.
-  kLocalBlock,
-};
-
-/// How dependences are enforced during execution (§2.2 + extensions).
-enum class ExecutionPolicy {
-  /// Global synchronization between wavefronts (Figure 5).
-  kPreScheduled,
-  /// Busy-waits on a shared ready array (Figure 4).
-  kSelfExecuting,
-  /// Original iteration order + ready array (the baseline of §5.1.2).
-  kDoAcross,
-  /// Threads claim wavefront-sorted indices from a shared fetch-and-add
-  /// cursor (extension; cf. the self-scheduling schemes discussed in §3).
-  kSelfScheduled,
-  /// Global barrier every `DoconsiderOptions::window` wavefronts, ready
-  /// flags inside each window (extension; cf. Nicol & Saltz [13]).
-  kWindowed,
-};
-
-/// Plan options.
-struct DoconsiderOptions {
-  SchedulingPolicy scheduling = SchedulingPolicy::kGlobal;
-  ExecutionPolicy execution = ExecutionPolicy::kSelfExecuting;
-  /// Run the inspector's wavefront sweep in parallel on the team (§2.3).
-  /// Does not change the produced artifact, only how fast it is built.
-  bool parallel_inspector = false;
-  /// kWindowed only: number of wavefronts between global barriers (>= 1).
-  index_t window = 4;
-  /// kPreScheduled / kSelfExecuting only: run the §5.1.2 rotating
-  /// instrumented variant — every processor executes all schedules, so the
-  /// run is perfectly load balanced, does P times the work, keeps all
-  /// synchronization memory traffic but never actually waits.
-  bool instrumented = false;
-};
-
-/// Options with the fields that do not apply to `execution` forced to a
-/// canonical value, so equivalent requests compare (and cache-key) equal.
-[[nodiscard]] constexpr DoconsiderOptions normalized_options(
-    DoconsiderOptions o) noexcept {
-  if (o.execution == ExecutionPolicy::kWindowed) {
-    if (o.window < 1) o.window = 1;
-  } else {
-    o.window = 0;
-  }
-  if (o.execution != ExecutionPolicy::kPreScheduled &&
-      o.execution != ExecutionPolicy::kSelfExecuting) {
-    o.instrumented = false;
-  }
-  // kDoAcross runs the original index order and kSelfScheduled consumes
-  // only the wavefront-sorted list, so the scheduling policy cannot
-  // influence execution; canonicalize it so equivalent requests share one
-  // cache entry.
-  if (o.execution == ExecutionPolicy::kDoAcross ||
-      o.execution == ExecutionPolicy::kSelfScheduled) {
-    o.scheduling = SchedulingPolicy::kGlobal;
-  }
-  return o;
-}
-
 class Plan;
+
+/// Summary of a plan's inspector artifact: the shape of the parallelism it
+/// found and the bytes the executor walks per run.
+struct PlanStats {
+  /// Loop iterations covered.
+  index_t n = 0;
+  /// Dependence edges.
+  index_t edges = 0;
+  /// Wavefronts (== barrier phases of the pre-scheduled executor).
+  index_t phases = 0;
+  /// Widest wavefront (the available parallelism ceiling).
+  index_t max_wavefront = 0;
+  /// Mean wavefront width (n / phases; 0 for an empty plan).
+  double avg_wavefront = 0.0;
+  /// Total bytes of the immutable artifact (== memory_footprint()).
+  std::size_t bytes = 0;
+};
 
 /// Per-execution mutable state: the shared ready array and the
 /// self-scheduling cursor. One ExecState serves one execution at a time;
@@ -152,32 +110,26 @@ class Plan {
     switch (options_.execution) {
       case ExecutionPolicy::kPreScheduled:
         if (options_.instrumented) {
-          execute_rotating_prescheduled(team, schedule_,
-                                        std::forward<Body>(body));
+          run_rotating_prescheduled(team, body);
         } else {
-          execute_prescheduled(team, schedule_, std::forward<Body>(body));
+          run_prescheduled(team, body);
         }
         break;
       case ExecutionPolicy::kSelfExecuting:
         if (options_.instrumented) {
-          execute_rotating_self(team, schedule_, graph_, state.ready(),
-                                std::forward<Body>(body));
+          run_rotating_self(team, state.ready(), body);
         } else {
-          execute_self(team, schedule_, graph_, state.ready(),
-                       std::forward<Body>(body));
+          run_self(team, state.ready(), body);
         }
         break;
       case ExecutionPolicy::kDoAcross:
-        execute_doacross(team, graph_.size(), graph_, state.ready(),
-                         std::forward<Body>(body));
+        run_doacross(team, state.ready(), body);
         break;
       case ExecutionPolicy::kSelfScheduled:
-        execute_self_scheduled(team, order_, graph_, state.ready(),
-                               state.cursor(), std::forward<Body>(body));
+        run_self_scheduled(team, state.ready(), state.cursor(), body);
         break;
       case ExecutionPolicy::kWindowed:
-        execute_windowed(team, schedule_, graph_, state.ready(),
-                         options_.window, std::forward<Body>(body));
+        run_windowed(team, state.ready(), body);
         break;
     }
   }
@@ -217,6 +169,33 @@ class Plan {
     return options_.execution != ExecutionPolicy::kPreScheduled;
   }
 
+  /// Bytes of the immutable artifact the executor walks: the dependence
+  /// CSR, the wavefront levels + membership CSR, and the flat schedule.
+  /// (Excludes per-execution ExecState pools — those are transient.)
+  [[nodiscard]] std::size_t memory_footprint() const noexcept {
+    constexpr std::size_t idx = sizeof(index_t);
+    return (graph_.ptr().size() + graph_.adj().size() +
+            wavefronts_.wave.size() + wavefronts_.order.size() +
+            wavefronts_.wave_ptr.size() + schedule_.order.size() +
+            schedule_.proc_ptr.size() + schedule_.phase_ptr.size()) *
+           idx;
+  }
+
+  /// Shape-and-size summary (surfaced by inspect_cli and the bench JSON).
+  [[nodiscard]] PlanStats stats() const noexcept {
+    PlanStats st;
+    st.n = graph_.size();
+    st.edges = graph_.num_edges();
+    st.phases = wavefronts_.num_waves;
+    st.max_wavefront = wavefronts_.max_wave_size();
+    st.avg_wavefront =
+        st.phases > 0
+            ? static_cast<double>(st.n) / static_cast<double>(st.phases)
+            : 0.0;
+    st.bytes = memory_footprint();
+    return st;
+  }
+
  private:
   friend class ExecState;
   // Runtime::plan_for already hashed the graph for its cache key and
@@ -231,7 +210,7 @@ class Plan {
         options_(normalized_options(options)),
         nproc_(team.size()),
         fingerprint_(fingerprint ? *fingerprint : graph_.fingerprint()) {
-    wavefronts_ = options.parallel_inspector
+    wavefronts_ = options_.parallel_inspector
                       ? compute_wavefronts_parallel(graph_, team)
                       : compute_wavefronts(graph_);
     switch (options_.scheduling) {
@@ -247,9 +226,167 @@ class Plan {
                                    block_partition(graph_.size(), nproc_));
         break;
     }
-    if (options_.execution == ExecutionPolicy::kSelfScheduled) {
-      order_ = wavefront_sorted_list(wavefronts_);
-    }
+  }
+
+  // -------------------------------------------------------------------
+  // The executors: transformed loop structures that carry out the
+  // calculations planned by the scheduler (§1, §2.2). All guarantee that
+  // `body(i)` runs only after `body(d)` completed for every d in
+  // `graph().deps(i)`; they differ in how that guarantee is enforced.
+  // Each walks the flat schedule through raw spans — one contiguous
+  // `order` array plus row-pointer offsets — so the per-iteration cost is
+  // an indexed load, never a pointer chase through nested vectors.
+  // -------------------------------------------------------------------
+
+  /// Pre-scheduled executor: every processor runs its phase-w indices,
+  /// then joins a global barrier, for each phase in turn (Figure 5).
+  template <class Body>
+  void run_prescheduled(ThreadTeam& team, Body& body) const {
+    team.run([&](int tid) {
+      BarrierToken bar(team.barrier());
+      const index_t* ord = schedule_.order.data();
+      const auto row = schedule_.phase_row(tid);
+      for (index_t w = 0; w < schedule_.num_phases; ++w) {
+        for (index_t k = row[static_cast<std::size_t>(w)];
+             k < row[static_cast<std::size_t>(w) + 1]; ++k) {
+          detail::invoke_body(body, tid, ord[static_cast<std::size_t>(k)]);
+        }
+        bar.wait();
+      }
+    });
+  }
+
+  /// Self-executing executor: busy-wait on the ready flags of each
+  /// dependence, run the body, publish completion (Figure 4). `ready` is
+  /// reset on entry.
+  template <class Body>
+  void run_self(ThreadTeam& team, ReadyFlags& ready, Body& body) const {
+    ready.reset();
+    team.run([&](int tid) {
+      for (const index_t i : schedule_.proc(tid)) {
+        for (const index_t d : graph_.deps(i)) ready.wait(d);
+        detail::invoke_body(body, tid, i);
+        ready.set(i);
+      }
+    });
+  }
+
+  /// Doacross baseline: original iteration order striped over processors,
+  /// synchronized through the ready array. Equivalent to `run_self` over
+  /// `original_order_schedule` but without any indirection through a
+  /// reordered index list (the paper notes the doacross loop "does not
+  /// have to perform array references to access the reordered index set").
+  template <class Body>
+  void run_doacross(ThreadTeam& team, ReadyFlags& ready, Body& body) const {
+    ready.reset();
+    const index_t n = graph_.size();
+    const int p = team.size();
+    team.run([&](int tid) {
+      for (index_t i = tid; i < n; i += p) {
+        for (const index_t d : graph_.deps(i)) ready.wait(d);
+        detail::invoke_body(body, tid, i);
+        ready.set(i);
+      }
+    });
+  }
+
+  /// Rotating-processor run of the self-executing code (§5.1.2): every
+  /// processor executes the schedules of *all* processors in rotation, so
+  /// the run is perfectly load balanced and does P times the work. All
+  /// ready-flag reads and writes still occur, but flags are pre-set so no
+  /// waiting happens. Time it externally and divide by P.
+  template <class Body>
+  void run_rotating_self(ThreadTeam& team, ReadyFlags& ready,
+                         Body& body) const {
+    // Pre-publish every flag: the wait loops fall through on first read.
+    ready.reset();
+    for (index_t i = 0; i < schedule_.n; ++i) ready.set(i);
+    const int p = team.size();
+    team.run([&](int tid) {
+      for (int shift = 0; shift < p; ++shift) {
+        const int owner = (tid + shift) % p;
+        for (const index_t i : schedule_.proc(owner)) {
+          for (const index_t d : graph_.deps(i)) ready.wait(d);
+          detail::invoke_body(body, tid, i);
+          ready.set(i);
+        }
+      }
+    });
+  }
+
+  /// Rotating-processor run of the pre-scheduled code (§5.1.2): like
+  /// `run_rotating_self` but with neither barriers nor ready-array
+  /// traffic (the pre-scheduled loop keeps no completion array).
+  template <class Body>
+  void run_rotating_prescheduled(ThreadTeam& team, Body& body) const {
+    const int p = team.size();
+    team.run([&](int tid) {
+      for (int shift = 0; shift < p; ++shift) {
+        const int owner = (tid + shift) % p;
+        for (const index_t i : schedule_.proc(owner)) {
+          detail::invoke_body(body, tid, i);
+        }
+      }
+    });
+  }
+
+  /// Dynamically self-scheduled executor (extension; cf. the
+  /// self-scheduling schemes of Lusk/Overbeek and Tang/Yew discussed in
+  /// §3): instead of a static index-to-processor assignment, threads claim
+  /// consecutive entries of the wavefront-sorted list (`wavefronts().order`,
+  /// a dependence-consistent permutation of 0..n-1) from a shared
+  /// fetch-and-add cursor; dependences are still enforced through the
+  /// ready array. Trades the cursor's contention for automatic load
+  /// balance when per-iteration work is irregular.
+  template <class Body>
+  void run_self_scheduled(ThreadTeam& team, ReadyFlags& ready,
+                          std::atomic<index_t>& cursor, Body& body) const {
+    ready.reset();
+    cursor.store(0, std::memory_order_relaxed);
+    const index_t* ord = wavefronts_.order.data();
+    const index_t n = static_cast<index_t>(wavefronts_.order.size());
+    team.run([&](int tid) {
+      for (;;) {
+        const index_t k = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (k >= n) break;
+        const index_t i = ord[static_cast<std::size_t>(k)];
+        for (const index_t d : graph_.deps(i)) ready.wait(d);
+        detail::invoke_body(body, tid, i);
+        ready.set(i);
+      }
+    });
+  }
+
+  /// Windowed hybrid executor (extension): global synchronization every
+  /// `options().window` wavefronts, ready-array busy-waits *inside* each
+  /// window. Interpolates between the paper's two executors — window = 1
+  /// is the pre-scheduled loop with (redundant) flag traffic, window >=
+  /// num_phases is the self-executing loop with one trailing barrier. The
+  /// flags make intra-window cross-processor dependences safe, so any
+  /// window size is correct; the barrier bounds how far the wavefront
+  /// pipeline can skew, which caps the ready-flag working set. Cf. the
+  /// synchronization-rearrangement tradeoff of Nicol & Saltz [13].
+  template <class Body>
+  void run_windowed(ThreadTeam& team, ReadyFlags& ready, Body& body) const {
+    const index_t window = options_.window;
+    assert(window >= 1);
+    ready.reset();
+    team.run([&](int tid) {
+      BarrierToken bar(team.barrier());
+      const index_t* ord = schedule_.order.data();
+      const auto row = schedule_.phase_row(tid);
+      for (index_t w0 = 0; w0 < schedule_.num_phases; w0 += window) {
+        const index_t w1 = std::min(schedule_.num_phases, w0 + window);
+        for (index_t k = row[static_cast<std::size_t>(w0)];
+             k < row[static_cast<std::size_t>(w1)]; ++k) {
+          const index_t i = ord[static_cast<std::size_t>(k)];
+          for (const index_t d : graph_.deps(i)) ready.wait(d);
+          detail::invoke_body(body, tid, i);
+          ready.set(i);
+        }
+        bar.wait();
+      }
+    });
   }
 
   /// RAII lease of a pooled ExecState.
@@ -284,8 +421,6 @@ class Plan {
   std::uint64_t fingerprint_;
   WavefrontInfo wavefronts_;
   Schedule schedule_;
-  /// Wavefront-sorted index list; populated only for kSelfScheduled.
-  std::vector<index_t> order_;
 
   mutable std::mutex pool_mutex_;
   mutable std::vector<std::unique_ptr<ExecState>> pool_;

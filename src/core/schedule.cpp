@@ -1,59 +1,36 @@
 #include "core/schedule.hpp"
 
 #include <algorithm>
-#include <numeric>
 #include <stdexcept>
 
 namespace rtl {
 
-std::vector<index_t> wavefront_sorted_list(const WavefrontInfo& wf) {
-  const index_t n = static_cast<index_t>(wf.wave.size());
-  std::vector<index_t> start(static_cast<std::size_t>(wf.num_waves) + 1, 0);
-  for (const index_t w : wf.wave) ++start[static_cast<std::size_t>(w) + 1];
-  for (std::size_t w = 0; w + 1 < start.size(); ++w) start[w + 1] += start[w];
-  std::vector<index_t> list(static_cast<std::size_t>(n));
-  std::vector<index_t> cursor(start.begin(), start.end() - 1);
-  for (index_t i = 0; i < n; ++i) {
-    const index_t w = wf.wave[static_cast<std::size_t>(i)];
-    list[static_cast<std::size_t>(cursor[static_cast<std::size_t>(w)]++)] = i;
-  }
-  return list;
-}
-
 namespace {
 
-/// Build a Schedule by dealing the sorted list L wrapped across
-/// processors and recording per-processor wavefront boundaries.
-Schedule deal_sorted_list(const WavefrontInfo& wf,
-                          const std::vector<index_t>& list, int nproc) {
-  const index_t n = static_cast<index_t>(wf.wave.size());
-  Schedule s;
-  s.nproc = nproc;
-  s.n = n;
-  s.num_phases = wf.num_waves;
-  s.order.resize(static_cast<std::size_t>(nproc));
-  s.phase_ptr.assign(static_cast<std::size_t>(nproc),
-                     std::vector<index_t>(
-                         static_cast<std::size_t>(wf.num_waves) + 1, 0));
-  std::vector<std::vector<index_t>> counts(
-      static_cast<std::size_t>(nproc),
-      std::vector<index_t>(static_cast<std::size_t>(wf.num_waves), 0));
-  for (index_t k = 0; k < n; ++k) {
-    const int p = static_cast<int>(k % nproc);
-    const index_t i = list[static_cast<std::size_t>(k)];
-    s.order[static_cast<std::size_t>(p)].push_back(i);
-    ++counts[static_cast<std::size_t>(p)]
-            [static_cast<std::size_t>(wf.wave[static_cast<std::size_t>(i)])];
-  }
+/// Size phase_ptr for `nproc` rows of `num_phases`+1 entries each.
+void init_phase_ptr(Schedule& s) {
+  s.phase_ptr.assign(static_cast<std::size_t>(s.nproc) *
+                         (static_cast<std::size_t>(s.num_phases) + 1),
+                     0);
+}
+
+/// Mutable view of processor p's phase-offset row.
+index_t* phase_row_mut(Schedule& s, int p) {
+  return s.phase_ptr.data() +
+         static_cast<std::size_t>(p) *
+             (static_cast<std::size_t>(s.num_phases) + 1);
+}
+
+/// proc_ptr for the wrapped deal: processor p receives entries p, p+nproc,
+/// ... of an n-element list, i.e. ceil((n - p) / nproc) of them.
+std::vector<index_t> wrapped_deal_ptr(index_t n, int nproc) {
+  std::vector<index_t> ptr(static_cast<std::size_t>(nproc) + 1, 0);
   for (int p = 0; p < nproc; ++p) {
-    auto& ptr = s.phase_ptr[static_cast<std::size_t>(p)];
-    for (index_t w = 0; w < wf.num_waves; ++w) {
-      ptr[static_cast<std::size_t>(w) + 1] =
-          ptr[static_cast<std::size_t>(w)] +
-          counts[static_cast<std::size_t>(p)][static_cast<std::size_t>(w)];
-    }
+    const index_t mine = n > p ? (n - p + nproc - 1) / nproc : 0;
+    ptr[static_cast<std::size_t>(p) + 1] =
+        ptr[static_cast<std::size_t>(p)] + mine;
   }
-  return s;
+  return ptr;
 }
 
 }  // namespace
@@ -62,54 +39,50 @@ Schedule global_schedule(const WavefrontInfo& wf, int nproc) {
   if (nproc <= 0) {
     throw std::invalid_argument("global_schedule: nproc must be >= 1");
   }
-  return deal_sorted_list(wf, wavefront_sorted_list(wf), nproc);
-}
-
-Schedule global_schedule_parallel(const WavefrontInfo& wf, int nproc,
-                                  ThreadTeam& team) {
-  if (nproc <= 0) {
+  if (wf.order.size() != wf.wave.size()) {
     throw std::invalid_argument(
-        "global_schedule_parallel: nproc must be >= 1");
+        "global_schedule: wavefront membership CSR not populated (build "
+        "WavefrontInfo via compute_wavefronts*)");
   }
-  const index_t n = static_cast<index_t>(wf.wave.size());
-  const int t = team.size();
-  const std::size_t waves = static_cast<std::size_t>(wf.num_waves);
+  const index_t n = wf.size();
+  Schedule s;
+  s.nproc = nproc;
+  s.n = n;
+  s.num_phases = wf.num_waves;
 
-  // Blocked parallel counting sort: each thread counts its contiguous
-  // block's wavefront populations; a scan over (wave, thread) in
-  // wave-major order assigns every thread a deterministic starting offset
-  // per wavefront, preserving increasing-index order within each wave.
-  std::vector<std::vector<index_t>> counts(
-      static_cast<std::size_t>(t), std::vector<index_t>(waves, 0));
-  team.parallel_blocks(n, [&](int tid, index_t b, index_t e) {
-    auto& mine = counts[static_cast<std::size_t>(tid)];
-    for (index_t i = b; i < e; ++i) {
-      ++mine[static_cast<std::size_t>(wf.wave[static_cast<std::size_t>(i)])];
-    }
-  });
-  std::vector<std::vector<index_t>> offsets(
-      static_cast<std::size_t>(t), std::vector<index_t>(waves, 0));
-  index_t running = 0;
-  for (std::size_t w = 0; w < waves; ++w) {
-    for (int tid = 0; tid < t; ++tid) {
-      offsets[static_cast<std::size_t>(tid)][w] = running;
-      running += counts[static_cast<std::size_t>(tid)][w];
+  // Wrapped deal of the sorted list L = wf.order: processor p receives
+  // L[p], L[p+nproc], ...
+  s.proc_ptr = wrapped_deal_ptr(n, nproc);
+
+  // One pass over L fills the flat order (the deal preserves L's
+  // wavefront-then-index order within each processor) and counts each
+  // processor's per-wavefront populations into its phase row.
+  s.order.resize(static_cast<std::size_t>(n));
+  init_phase_ptr(s);
+  std::vector<index_t> cursor(s.proc_ptr.begin(), s.proc_ptr.end() - 1);
+  for (index_t k = 0; k < n; ++k) {
+    const int p = static_cast<int>(k % nproc);
+    const index_t i = wf.order[static_cast<std::size_t>(k)];
+    s.order[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(p)]++)] = i;
+    ++phase_row_mut(s, p)[static_cast<std::size_t>(
+                              wf.wave[static_cast<std::size_t>(i)]) +
+                          1];
+  }
+  // Per-row exclusive scan turns counts into absolute offsets.
+  for (int p = 0; p < nproc; ++p) {
+    index_t* row = phase_row_mut(s, p);
+    row[0] = s.proc_ptr[static_cast<std::size_t>(p)];
+    for (index_t w = 0; w < s.num_phases; ++w) {
+      row[static_cast<std::size_t>(w) + 1] +=
+          row[static_cast<std::size_t>(w)];
     }
   }
-  std::vector<index_t> list(static_cast<std::size_t>(n));
-  team.parallel_blocks(n, [&](int tid, index_t b, index_t e) {
-    auto cursor = offsets[static_cast<std::size_t>(tid)];
-    for (index_t i = b; i < e; ++i) {
-      const index_t w = wf.wave[static_cast<std::size_t>(i)];
-      list[static_cast<std::size_t>(cursor[static_cast<std::size_t>(w)]++)] =
-          i;
-    }
-  });
-  return deal_sorted_list(wf, list, nproc);
+  return s;
 }
 
 Schedule local_schedule(const WavefrontInfo& wf, const Partition& part) {
-  const index_t n = static_cast<index_t>(wf.wave.size());
+  const index_t n = wf.size();
   if (part.size() != n) {
     throw std::invalid_argument("local_schedule: partition size mismatch");
   }
@@ -119,28 +92,36 @@ Schedule local_schedule(const WavefrontInfo& wf, const Partition& part) {
   s.nproc = nproc;
   s.n = n;
   s.num_phases = wf.num_waves;
-  s.order.resize(static_cast<std::size_t>(nproc));
-  s.phase_ptr.assign(static_cast<std::size_t>(nproc),
-                     std::vector<index_t>(
-                         static_cast<std::size_t>(wf.num_waves) + 1, 0));
+  s.proc_ptr.assign(static_cast<std::size_t>(nproc) + 1, 0);
+  for (int p = 0; p < nproc; ++p) {
+    s.proc_ptr[static_cast<std::size_t>(p) + 1] =
+        s.proc_ptr[static_cast<std::size_t>(p)] +
+        static_cast<index_t>(part.members(p).size());
+  }
+  s.order.resize(static_cast<std::size_t>(n));
+  init_phase_ptr(s);
 
   // Per-processor stable counting sort by wavefront: the local reorder that
-  // "simply rearranges the local ordering of those indices" (§1).
-  auto members = part.members();
+  // "simply rearranges the local ordering of those indices" (§1), writing
+  // straight into the processor's slice of the flat order array.
   for (int p = 0; p < nproc; ++p) {
-    const auto& mine = members[static_cast<std::size_t>(p)];
-    auto& ptr = s.phase_ptr[static_cast<std::size_t>(p)];
+    const auto mine = part.members(p);
+    index_t* row = phase_row_mut(s, p);
     for (const index_t i : mine) {
-      ++ptr[static_cast<std::size_t>(wf.wave[static_cast<std::size_t>(i)]) +
+      ++row[static_cast<std::size_t>(wf.wave[static_cast<std::size_t>(i)]) +
             1];
     }
-    for (std::size_t w = 0; w + 1 < ptr.size(); ++w) ptr[w + 1] += ptr[w];
-    auto& ord = s.order[static_cast<std::size_t>(p)];
-    ord.resize(mine.size());
-    std::vector<index_t> cursor(ptr.begin(), ptr.end() - 1);
+    row[0] = s.proc_ptr[static_cast<std::size_t>(p)];
+    for (index_t w = 0; w < s.num_phases; ++w) {
+      row[static_cast<std::size_t>(w) + 1] +=
+          row[static_cast<std::size_t>(w)];
+    }
+    std::vector<index_t> cursor(
+        row, row + static_cast<std::size_t>(s.num_phases));
     for (const index_t i : mine) {
       const index_t w = wf.wave[static_cast<std::size_t>(i)];
-      ord[static_cast<std::size_t>(cursor[static_cast<std::size_t>(w)]++)] = i;
+      s.order[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(w)]++)] = i;
     }
   }
   return s;
@@ -154,34 +135,51 @@ Schedule original_order_schedule(index_t n, int nproc) {
   s.nproc = nproc;
   s.n = n;
   s.num_phases = 1;
-  s.order.resize(static_cast<std::size_t>(nproc));
+  s.proc_ptr = wrapped_deal_ptr(n, nproc);
+  s.order.resize(static_cast<std::size_t>(n));
+  std::vector<index_t> cursor(s.proc_ptr.begin(), s.proc_ptr.end() - 1);
   for (index_t i = 0; i < n; ++i) {
-    s.order[static_cast<std::size_t>(i % nproc)].push_back(i);
+    s.order[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(i % nproc)]++)] = i;
   }
-  s.phase_ptr.resize(static_cast<std::size_t>(nproc));
+  init_phase_ptr(s);
   for (int p = 0; p < nproc; ++p) {
-    s.phase_ptr[static_cast<std::size_t>(p)] = {
-        0, static_cast<index_t>(s.order[static_cast<std::size_t>(p)].size())};
+    index_t* row = phase_row_mut(s, p);
+    row[0] = s.proc_ptr[static_cast<std::size_t>(p)];
+    row[1] = s.proc_ptr[static_cast<std::size_t>(p) + 1];
   }
   return s;
 }
 
 void validate_schedule(const Schedule& s, const WavefrontInfo& wf) {
-  if (static_cast<index_t>(wf.wave.size()) != s.n) {
+  if (wf.size() != s.n) {
     throw std::invalid_argument("validate_schedule: size mismatch");
+  }
+  if (s.proc_ptr.size() != static_cast<std::size_t>(s.nproc) + 1 ||
+      s.proc_ptr.front() != 0 ||
+      s.proc_ptr.back() != static_cast<index_t>(s.order.size()) ||
+      static_cast<index_t>(s.order.size()) != s.n) {
+    throw std::invalid_argument("validate_schedule: bad processor pointers");
+  }
+  if (s.phase_ptr.size() != static_cast<std::size_t>(s.nproc) *
+                                (static_cast<std::size_t>(s.num_phases) + 1)) {
+    throw std::invalid_argument("validate_schedule: bad phase pointers");
   }
   std::vector<char> seen(static_cast<std::size_t>(s.n), 0);
   for (int p = 0; p < s.nproc; ++p) {
-    const auto& ord = s.order[static_cast<std::size_t>(p)];
-    const auto& ptr = s.phase_ptr[static_cast<std::size_t>(p)];
-    if (ptr.size() != static_cast<std::size_t>(s.num_phases) + 1 ||
-        ptr.front() != 0 ||
-        ptr.back() != static_cast<index_t>(ord.size())) {
+    if (s.proc_ptr[static_cast<std::size_t>(p)] >
+        s.proc_ptr[static_cast<std::size_t>(p) + 1]) {
+      throw std::invalid_argument(
+          "validate_schedule: processor pointers not monotone");
+    }
+    const auto row = s.phase_row(p);
+    if (row.front() != s.proc_ptr[static_cast<std::size_t>(p)] ||
+        row.back() != s.proc_ptr[static_cast<std::size_t>(p) + 1]) {
       throw std::invalid_argument("validate_schedule: bad phase pointers");
     }
     for (index_t w = 0; w < s.num_phases; ++w) {
-      if (ptr[static_cast<std::size_t>(w)] >
-          ptr[static_cast<std::size_t>(w) + 1]) {
+      if (row[static_cast<std::size_t>(w)] >
+          row[static_cast<std::size_t>(w) + 1]) {
         throw std::invalid_argument(
             "validate_schedule: phase pointers not monotone");
       }

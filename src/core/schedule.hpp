@@ -1,10 +1,10 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/partition.hpp"
 #include "graph/wavefront.hpp"
-#include "runtime/thread_team.hpp"
 #include "runtime/types.hpp"
 
 /// Per-processor execution schedules — the inspector's output.
@@ -23,7 +23,20 @@
 ///    processor's own indices by wavefront number.
 namespace rtl {
 
-/// Execution order and phase structure for every processor.
+/// Execution order and phase structure for every processor, stored flat
+/// (CSR-style). The schedule is the executor's hot-path data structure —
+/// the inspector is paid once and this artifact is walked on every one of
+/// the (potentially millions of) executions (§5.1.1) — so it is three
+/// contiguous arrays instead of a jagged vector-of-vectors tree:
+///
+///   order     [ p0's iterations | p1's iterations | ... ]        (size n)
+///   proc_ptr  [ 0, |p0|, |p0|+|p1|, ..., n ]                 (nproc + 1)
+///   phase_ptr one row of num_phases+1 *absolute* offsets into `order`
+///             per processor, row p starting at p * (num_phases + 1)
+///
+/// so `proc(p)` and `phase(p, w)` are zero-copy spans. Row p of phase_ptr
+/// begins at proc_ptr[p] and ends at proc_ptr[p+1]; phases with no local
+/// work are empty ranges (the processor still joins the barrier).
 struct Schedule {
   /// Number of processors the schedule targets.
   int nproc = 0;
@@ -31,41 +44,42 @@ struct Schedule {
   index_t n = 0;
   /// Number of phases (== number of wavefronts).
   index_t num_phases = 0;
-  /// order[p] = iterations processor p executes, in order.
-  std::vector<std::vector<index_t>> order;
-  /// phase_ptr[p] has num_phases+1 entries; processor p's phase w spans
-  /// order[p][phase_ptr[p][w] .. phase_ptr[p][w+1]). Phases with no local
-  /// work are empty ranges (the processor still joins the barrier).
-  std::vector<std::vector<index_t>> phase_ptr;
+  /// All iterations, grouped by processor, each group in execution order.
+  std::vector<index_t> order;
+  /// nproc+1 offsets into `order`: processor p executes
+  /// order[proc_ptr[p] .. proc_ptr[p+1]).
+  std::vector<index_t> proc_ptr;
+  /// nproc rows of num_phases+1 absolute offsets into `order`: processor
+  /// p's phase w spans order[phase_row(p)[w] .. phase_row(p)[w+1]).
+  std::vector<index_t> phase_ptr;
 
-  /// Iterations assigned to processor p during phase w.
-  [[nodiscard]] std::span<const index_t> phase(int p, index_t w) const {
-    const auto& ord = order[static_cast<std::size_t>(p)];
-    const auto& ptr = phase_ptr[static_cast<std::size_t>(p)];
-    return {ord.data() + ptr[static_cast<std::size_t>(w)],
-            ord.data() + ptr[static_cast<std::size_t>(w) + 1]};
+  /// Iterations processor p executes, in order (zero-copy).
+  [[nodiscard]] std::span<const index_t> proc(int p) const noexcept {
+    return {order.data() + proc_ptr[static_cast<std::size_t>(p)],
+            order.data() + proc_ptr[static_cast<std::size_t>(p) + 1]};
+  }
+
+  /// Processor p's num_phases+1 phase offsets (absolute into `order`).
+  [[nodiscard]] std::span<const index_t> phase_row(int p) const noexcept {
+    return {phase_ptr.data() +
+                static_cast<std::size_t>(p) *
+                    (static_cast<std::size_t>(num_phases) + 1),
+            static_cast<std::size_t>(num_phases) + 1};
+  }
+
+  /// Iterations assigned to processor p during phase w (zero-copy).
+  [[nodiscard]] std::span<const index_t> phase(int p, index_t w) const
+      noexcept {
+    const auto row = phase_row(p);
+    return {order.data() + row[static_cast<std::size_t>(w)],
+            order.data() + row[static_cast<std::size_t>(w) + 1]};
   }
 };
 
-/// The globally wavefront-sorted index list L of §4.2: stable counting
-/// sort of 0..n-1 by wavefront number, each wavefront's points in
-/// increasing index order.
-[[nodiscard]] std::vector<index_t> wavefront_sorted_list(
-    const WavefrontInfo& wf);
-
-/// Global scheduling: sort indices by (wavefront, index) and deal the
-/// sorted list L wrapped across processors — L[k] goes to processor
-/// k mod nproc — so the work of every wavefront is evenly partitioned.
+/// Global scheduling: take the wavefront-sorted list L (`wf.order`) and
+/// deal it wrapped across processors — L[k] goes to processor k mod nproc —
+/// so the work of every wavefront is evenly partitioned.
 [[nodiscard]] Schedule global_schedule(const WavefrontInfo& wf, int nproc);
-
-/// Parallel global scheduling. §2.3 judged global scheduling impractical
-/// to parallelize "in the absence of a fetch and add primitive"; modern
-/// hardware has one, and a blocked counting sort needs only per-(thread,
-/// wave) counters plus one scan, no atomics in the hot loop. Produces a
-/// schedule identical to `global_schedule` (deterministic, increasing
-/// index order within each wavefront).
-[[nodiscard]] Schedule global_schedule_parallel(const WavefrontInfo& wf,
-                                                int nproc, ThreadTeam& team);
 
 /// Local scheduling: keep `part`'s assignment; each processor's indices are
 /// stably reordered by increasing wavefront number.
@@ -77,8 +91,9 @@ struct Schedule {
 /// (num_phases == 1; the doacross executor never uses phase boundaries).
 [[nodiscard]] Schedule original_order_schedule(index_t n, int nproc);
 
-/// Validation: every index appears exactly once, phase pointers are
-/// monotone and consistent with wavefront numbers. Throws on violation.
+/// Validation: every index appears exactly once, processor and phase
+/// pointers are monotone, consistent with each other and with wavefront
+/// numbers. Throws on violation.
 void validate_schedule(const Schedule& s, const WavefrontInfo& wf);
 
 }  // namespace rtl

@@ -3,22 +3,49 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+
 #include <stdexcept>
 
 #include "runtime/spin_wait.hpp"
 
 namespace rtl {
 
+namespace {
+
+/// Build the membership CSR (`order` + `wave_ptr`) from a completed level
+/// array: a stable counting sort of 0..n-1 by wavefront number.
+void build_membership(WavefrontInfo& info) {
+  const index_t n = info.size();
+  info.wave_ptr.assign(static_cast<std::size_t>(info.num_waves) + 1, 0);
+  for (const index_t w : info.wave) {
+    ++info.wave_ptr[static_cast<std::size_t>(w) + 1];
+  }
+  for (std::size_t w = 0; w + 1 < info.wave_ptr.size(); ++w) {
+    info.wave_ptr[w + 1] += info.wave_ptr[w];
+  }
+  info.order.resize(static_cast<std::size_t>(n));
+  std::vector<index_t> cursor(info.wave_ptr.begin(), info.wave_ptr.end() - 1);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t w = info.wave[static_cast<std::size_t>(i)];
+    info.order[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(w)]++)] = i;
+  }
+}
+
+}  // namespace
+
 std::vector<index_t> WavefrontInfo::wave_sizes() const {
-  std::vector<index_t> sizes(static_cast<std::size_t>(num_waves), 0);
-  for (const index_t w : wave) ++sizes[static_cast<std::size_t>(w)];
+  std::vector<index_t> sizes(static_cast<std::size_t>(num_waves));
+  for (index_t w = 0; w < num_waves; ++w) {
+    sizes[static_cast<std::size_t>(w)] = wave_size(w);
+  }
   return sizes;
 }
 
 index_t WavefrontInfo::max_wave_size() const {
-  const auto sizes = wave_sizes();
-  if (sizes.empty()) return 0;
-  return *std::max_element(sizes.begin(), sizes.end());
+  index_t max = 0;
+  for (index_t w = 0; w < num_waves; ++w) max = std::max(max, wave_size(w));
+  return max;
 }
 
 WavefrontInfo compute_wavefronts(const DependenceGraph& g) {
@@ -36,6 +63,7 @@ WavefrontInfo compute_wavefronts(const DependenceGraph& g) {
     max_wave = std::max(max_wave, mywf);
   }
   info.num_waves = max_wave + 1;
+  build_membership(info);
   return info;
 }
 
@@ -73,6 +101,7 @@ WavefrontInfo compute_wavefronts_general(const DependenceGraph& g) {
     throw std::invalid_argument("compute_wavefronts_general: graph has a cycle");
   }
   info.num_waves = level;
+  build_membership(info);
   return info;
 }
 
@@ -128,6 +157,45 @@ WavefrontInfo compute_wavefronts_parallel(const DependenceGraph& g,
     max_wave = std::max(max_wave, w);
   }
   info.num_waves = max_wave + 1;
+
+  // Membership CSR via blocked parallel counting sort: each thread counts
+  // its contiguous block's wavefront populations; a scan over (wave,
+  // thread) in wave-major order gives every thread a deterministic
+  // starting offset per wavefront, preserving increasing-index order
+  // within each wave — bit-identical to build_membership's sequential
+  // counting sort.
+  const int t = team.size();
+  const std::size_t waves = static_cast<std::size_t>(info.num_waves);
+  std::vector<std::vector<index_t>> counts(
+      static_cast<std::size_t>(t), std::vector<index_t>(waves, 0));
+  team.parallel_blocks(n, [&](int tid, index_t b, index_t e) {
+    auto& mine = counts[static_cast<std::size_t>(tid)];
+    for (index_t i = b; i < e; ++i) {
+      ++mine[static_cast<std::size_t>(
+          info.wave[static_cast<std::size_t>(i)])];
+    }
+  });
+  info.wave_ptr.assign(waves + 1, 0);
+  std::vector<std::vector<index_t>> offsets(
+      static_cast<std::size_t>(t), std::vector<index_t>(waves, 0));
+  index_t running = 0;
+  for (std::size_t w = 0; w < waves; ++w) {
+    info.wave_ptr[w] = running;
+    for (int tid = 0; tid < t; ++tid) {
+      offsets[static_cast<std::size_t>(tid)][w] = running;
+      running += counts[static_cast<std::size_t>(tid)][w];
+    }
+  }
+  info.wave_ptr[waves] = running;
+  info.order.resize(static_cast<std::size_t>(n));
+  team.parallel_blocks(n, [&](int tid, index_t b, index_t e) {
+    auto cursor = offsets[static_cast<std::size_t>(tid)];
+    for (index_t i = b; i < e; ++i) {
+      const index_t w = info.wave[static_cast<std::size_t>(i)];
+      info.order[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(w)]++)] = i;
+    }
+  });
   return info;
 }
 

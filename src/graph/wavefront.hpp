@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/dependence_graph.hpp"
@@ -16,14 +17,40 @@
 /// dependences point backwards one sequential sweep suffices (Figure 7).
 namespace rtl {
 
-/// Result of the topological sort: a level per index, plus the level count.
+/// Result of the topological sort, stored flat (CSR-style) because it is
+/// the executor's hot-path input: a level per index, plus the wavefront
+/// membership as one contiguous `order` array sliced by `wave_ptr` —
+/// `members(w)` is a zero-copy span. `order` is also the globally
+/// wavefront-sorted index list L of §4.2 (stable counting sort of 0..n-1
+/// by wavefront number, each wavefront's points in increasing index
+/// order), consumed directly by the global scheduler and the
+/// self-scheduled executor.
 struct WavefrontInfo {
   /// wave[i] = 0-based wavefront number of iteration i.
   std::vector<index_t> wave;
   /// Total number of wavefronts (phases). 0 for an empty index set.
   index_t num_waves = 0;
+  /// All indices, stably sorted by (wavefront, index): wavefront w spans
+  /// order[wave_ptr[w] .. wave_ptr[w+1]).
+  std::vector<index_t> order;
+  /// num_waves + 1 row-pointer offsets into `order`.
+  std::vector<index_t> wave_ptr;
 
-  /// Number of indices in each wavefront.
+  /// Number of indices covered.
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(wave.size());
+  }
+  /// Indices of wavefront w, in increasing index order (zero-copy).
+  [[nodiscard]] std::span<const index_t> members(index_t w) const noexcept {
+    return {order.data() + wave_ptr[static_cast<std::size_t>(w)],
+            order.data() + wave_ptr[static_cast<std::size_t>(w) + 1]};
+  }
+  /// Number of indices in wavefront w.
+  [[nodiscard]] index_t wave_size(index_t w) const noexcept {
+    return wave_ptr[static_cast<std::size_t>(w) + 1] -
+           wave_ptr[static_cast<std::size_t>(w)];
+  }
+  /// Number of indices in each wavefront (materialized from `wave_ptr`).
   [[nodiscard]] std::vector<index_t> wave_sizes() const;
   /// Largest wavefront population (the available parallelism ceiling).
   [[nodiscard]] index_t max_wave_size() const;
@@ -40,7 +67,11 @@ struct WavefrontInfo {
 
 /// Parallelized sweep of §2.3: consecutive indices are striped across the
 /// team and busy waits assure that predecessor wavefront values have been
-/// produced before being used. Requires `g.is_forward_only()`.
+/// produced before being used. The wavefront-membership CSR is built with
+/// a blocked parallel counting sort (per-(thread, wave) counters plus one
+/// scan — §2.3 judged this impractical "in the absence of a fetch and add
+/// primitive"; blocking removes even that). Produces a WavefrontInfo
+/// identical to `compute_wavefronts`. Requires `g.is_forward_only()`.
 [[nodiscard]] WavefrontInfo compute_wavefronts_parallel(
     const DependenceGraph& g, ThreadTeam& team);
 

@@ -135,8 +135,9 @@ TEST(AnalysisTest, DeadlockingScheduleDetected) {
   s.nproc = 1;
   s.n = 2;
   s.num_phases = 1;
-  s.order = {{1, 0}};
-  s.phase_ptr = {{0, 2}};
+  s.order = {1, 0};
+  s.proc_ptr = {0, 2};
+  s.phase_ptr = {0, 2};
   const std::vector<double> work(2, 1.0);
   EXPECT_THROW(static_cast<void>(estimate_self_executing(s, g, work)),
                std::invalid_argument);

@@ -110,6 +110,39 @@ TEST(ReporterTest, DocumentCarriesSchemaMachineAndConfig) {
   EXPECT_EQ(rep.records()[0].stats.reps, 2);
 }
 
+TEST(ReporterTest, PlanStatsAndCacheCountersLandInTheRecords) {
+  Reporter rep("bench_unit");
+  PlanStats st;
+  st.n = 100;
+  st.edges = 250;
+  st.phases = 10;
+  st.max_wavefront = 30;
+  st.avg_wavefront = 10.0;
+  st.bytes = 4096;
+  rep.add_plan_stats("P1", st);
+  Runtime::CacheCounters cc;
+  cc.hits = 7;
+  cc.misses = 2;
+  cc.entries = 2;
+  rep.add_plan_cache(cc);
+
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"metric\": \"plan_phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"plan_max_wavefront\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"plan_avg_wavefront\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"plan_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"group\": \"plan_cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"misses\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"entries\""), std::string::npos);
+  // Derived units must stay non-gating: nothing here may carry "ms".
+  for (const auto& r : rep.records()) EXPECT_NE(r.unit, "ms");
+  ASSERT_EQ(rep.records().size(), 7u);
+}
+
 TEST(ReporterTest, SkippedDriverStillProducesADocument) {
   Reporter rep("bench_missing");
   rep.mark_skipped("dependency absent");

@@ -1,5 +1,8 @@
-// Tests for the pre-scheduled, self-executing, doacross and rotating
-// executors, and the doconsider facade.
+// Tests for the executor engine behind Plan::execute — the pre-scheduled,
+// self-executing, doacross, self-scheduled, windowed and rotating
+// instrumented shapes — and the doconsider facade. Every shape is reached
+// the way production code reaches it: a Plan compiled with the matching
+// DoconsiderOptions.
 
 #include <gtest/gtest.h>
 
@@ -61,77 +64,73 @@ struct SimpleLoop {
     }
     return x;
   }
+
+  /// The recurrence body writing into `x`.
+  [[nodiscard]] auto body(std::vector<real_t>& x) const {
+    return [this, &x](index_t i) {
+      if (i > 0) {
+        x[static_cast<std::size_t>(i)] +=
+            b[static_cast<std::size_t>(i)] *
+            x[static_cast<std::size_t>(ia[static_cast<std::size_t>(i)])];
+      }
+    };
+  }
 };
+
+/// Plan for `graph` on `team` under (sched, exec).
+Plan make_plan(ThreadTeam& team, DependenceGraph graph,
+               SchedulingPolicy sched, ExecutionPolicy exec,
+               bool instrumented = false) {
+  DoconsiderOptions opts;
+  opts.scheduling = sched;
+  opts.execution = exec;
+  opts.instrumented = instrumented;
+  return Plan(team, std::move(graph), opts);
+}
 
 class ExecutorsTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ExecutorsTest, PreScheduledGlobalMatchesSequential) {
   ThreadTeam team(GetParam());
   auto loop = SimpleLoop::make(501, 11);
-  const auto g = loop.dependences();
-  const auto wf = compute_wavefronts(g);
-  const auto s = global_schedule(wf, team.size());
+  const Plan plan = make_plan(team, loop.dependences(),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kPreScheduled);
   std::vector<real_t> x = loop.x0;
-  execute_prescheduled(team, s, [&](index_t i) {
-    if (i > 0) {
-      x[static_cast<std::size_t>(i)] +=
-          loop.b[static_cast<std::size_t>(i)] *
-          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
-    }
-  });
+  plan.execute(team, loop.body(x));
   EXPECT_EQ(x, loop.sequential_result());
 }
 
 TEST_P(ExecutorsTest, SelfExecutingGlobalMatchesSequential) {
   ThreadTeam team(GetParam());
   auto loop = SimpleLoop::make(501, 12);
-  const auto g = loop.dependences();
-  const auto wf = compute_wavefronts(g);
-  const auto s = global_schedule(wf, team.size());
-  ReadyFlags ready(g.size());
+  const Plan plan = make_plan(team, loop.dependences(),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kSelfExecuting);
   std::vector<real_t> x = loop.x0;
-  execute_self(team, s, g, ready, [&](index_t i) {
-    if (i > 0) {
-      x[static_cast<std::size_t>(i)] +=
-          loop.b[static_cast<std::size_t>(i)] *
-          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
-    }
-  });
+  plan.execute(team, loop.body(x));
   EXPECT_EQ(x, loop.sequential_result());
 }
 
 TEST_P(ExecutorsTest, SelfExecutingLocalMatchesSequential) {
   ThreadTeam team(GetParam());
   auto loop = SimpleLoop::make(733, 13);
-  const auto g = loop.dependences();
-  const auto wf = compute_wavefronts(g);
-  const auto s =
-      local_schedule(wf, wrapped_partition(g.size(), team.size()));
-  ReadyFlags ready(g.size());
+  const Plan plan = make_plan(team, loop.dependences(),
+                              SchedulingPolicy::kLocalWrapped,
+                              ExecutionPolicy::kSelfExecuting);
   std::vector<real_t> x = loop.x0;
-  execute_self(team, s, g, ready, [&](index_t i) {
-    if (i > 0) {
-      x[static_cast<std::size_t>(i)] +=
-          loop.b[static_cast<std::size_t>(i)] *
-          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
-    }
-  });
+  plan.execute(team, loop.body(x));
   EXPECT_EQ(x, loop.sequential_result());
 }
 
 TEST_P(ExecutorsTest, DoacrossMatchesSequential) {
   ThreadTeam team(GetParam());
   auto loop = SimpleLoop::make(404, 14);
-  const auto g = loop.dependences();
-  ReadyFlags ready(g.size());
+  const Plan plan = make_plan(team, loop.dependences(),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kDoAcross);
   std::vector<real_t> x = loop.x0;
-  execute_doacross(team, g.size(), g, ready, [&](index_t i) {
-    if (i > 0) {
-      x[static_cast<std::size_t>(i)] +=
-          loop.b[static_cast<std::size_t>(i)] *
-          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
-    }
-  });
+  plan.execute(team, loop.body(x));
   EXPECT_EQ(x, loop.sequential_result());
 }
 
@@ -139,13 +138,12 @@ TEST_P(ExecutorsTest, EveryIterationRunsExactlyOnce) {
   ThreadTeam team(GetParam());
   const index_t n = 997;
   auto loop = SimpleLoop::make(n, 15);
-  const auto g = loop.dependences();
-  const auto wf = compute_wavefronts(g);
-  const auto s = global_schedule(wf, team.size());
+  const Plan plan = make_plan(team, loop.dependences(),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kSelfExecuting);
   std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
   for (auto& h : hits) h.store(0);
-  ReadyFlags ready(n);
-  execute_self(team, s, g, ready, [&](index_t i) {
+  plan.execute(team, [&](index_t i) {
     hits[static_cast<std::size_t>(i)].fetch_add(1);
   });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
@@ -158,15 +156,16 @@ TEST_P(ExecutorsTest, DependencesObservedUnderSelfExecution) {
   const auto spec = SyntheticSpec{.mesh = 20, .lambda = 3.0,
                                   .mean_dist = 2.0, .seed = 5};
   const auto g = synthetic_dependences(spec);
-  const auto wf = compute_wavefronts(g);
-  const auto s = local_schedule(wf, wrapped_partition(g.size(), team.size()));
+  const index_t n = g.size();
+  const Plan plan = make_plan(team, DependenceGraph(g),
+                              SchedulingPolicy::kLocalWrapped,
+                              ExecutionPolicy::kSelfExecuting);
   std::atomic<long> clock{0};
-  std::vector<long> stamp(static_cast<std::size_t>(g.size()), -1);
-  ReadyFlags ready(g.size());
-  execute_self(team, s, g, ready, [&](index_t i) {
+  std::vector<long> stamp(static_cast<std::size_t>(n), -1);
+  plan.execute(team, [&](index_t i) {
     stamp[static_cast<std::size_t>(i)] = clock.fetch_add(1);
   });
-  for (index_t i = 0; i < g.size(); ++i) {
+  for (index_t i = 0; i < n; ++i) {
     for (const index_t d : g.deps(i)) {
       EXPECT_LT(stamp[static_cast<std::size_t>(d)],
                 stamp[static_cast<std::size_t>(i)]);
@@ -179,14 +178,16 @@ TEST_P(ExecutorsTest, DependencesObservedUnderPreScheduling) {
   const auto spec = SyntheticSpec{.mesh = 20, .lambda = 3.0,
                                   .mean_dist = 2.0, .seed = 6};
   const auto g = synthetic_dependences(spec);
-  const auto wf = compute_wavefronts(g);
-  const auto s = global_schedule(wf, team.size());
+  const index_t n = g.size();
+  const Plan plan = make_plan(team, DependenceGraph(g),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kPreScheduled);
   std::atomic<long> clock{0};
-  std::vector<long> stamp(static_cast<std::size_t>(g.size()), -1);
-  execute_prescheduled(team, s, [&](index_t i) {
+  std::vector<long> stamp(static_cast<std::size_t>(n), -1);
+  plan.execute(team, [&](index_t i) {
     stamp[static_cast<std::size_t>(i)] = clock.fetch_add(1);
   });
-  for (index_t i = 0; i < g.size(); ++i) {
+  for (index_t i = 0; i < n; ++i) {
     for (const index_t d : g.deps(i)) {
       EXPECT_LT(stamp[static_cast<std::size_t>(d)],
                 stamp[static_cast<std::size_t>(i)]);
@@ -198,13 +199,13 @@ TEST_P(ExecutorsTest, RotatingSelfExecutesEveryIndexPTimes) {
   ThreadTeam team(GetParam());
   const index_t n = 301;
   auto loop = SimpleLoop::make(n, 17);
-  const auto g = loop.dependences();
-  const auto wf = compute_wavefronts(g);
-  const auto s = global_schedule(wf, team.size());
+  const Plan plan = make_plan(team, loop.dependences(),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kSelfExecuting,
+                              /*instrumented=*/true);
   std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
   for (auto& h : hits) h.store(0);
-  ReadyFlags ready(n);
-  execute_rotating_self(team, s, g, ready, [&](index_t i) {
+  plan.execute(team, [&](index_t i) {
     hits[static_cast<std::size_t>(i)].fetch_add(1);
   });
   for (const auto& h : hits) EXPECT_EQ(h.load(), team.size());
@@ -214,12 +215,13 @@ TEST_P(ExecutorsTest, RotatingPreScheduledExecutesEveryIndexPTimes) {
   ThreadTeam team(GetParam());
   const index_t n = 301;
   auto loop = SimpleLoop::make(n, 18);
-  const auto g = loop.dependences();
-  const auto wf = compute_wavefronts(g);
-  const auto s = global_schedule(wf, team.size());
+  const Plan plan = make_plan(team, loop.dependences(),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kPreScheduled,
+                              /*instrumented=*/true);
   std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
   for (auto& h : hits) h.store(0);
-  execute_rotating_prescheduled(team, s, [&](index_t i) {
+  plan.execute(team, [&](index_t i) {
     hits[static_cast<std::size_t>(i)].fetch_add(1);
   });
   for (const auto& h : hits) EXPECT_EQ(h.load(), team.size());
@@ -228,17 +230,18 @@ TEST_P(ExecutorsTest, RotatingPreScheduledExecutesEveryIndexPTimes) {
 TEST_P(ExecutorsTest, BodyReceivesTidWhenRequested) {
   ThreadTeam team(GetParam());
   auto loop = SimpleLoop::make(100, 19);
-  const auto g = loop.dependences();
-  const auto wf = compute_wavefronts(g);
-  const auto s = global_schedule(wf, team.size());
+  const Plan plan = make_plan(team, loop.dependences(),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kPreScheduled);
   std::vector<int> owner(100, -1);
-  execute_prescheduled(team, s, [&](int tid, index_t i) {
+  plan.execute(team, [&](int tid, index_t i) {
     owner[static_cast<std::size_t>(i)] = tid;
   });
   // Every index must have been run by the processor that owns it in the
   // schedule.
+  const Schedule& s = plan.schedule();
   for (int p = 0; p < s.nproc; ++p) {
-    for (const index_t i : s.order[static_cast<std::size_t>(p)]) {
+    for (const index_t i : s.proc(p)) {
       EXPECT_EQ(owner[static_cast<std::size_t>(i)], p);
     }
   }
@@ -258,17 +261,7 @@ TEST_P(ExecutorsTest, DoconsiderFacadeAllPolicies) {
       DoconsiderOptions opts;
       opts.scheduling = sched;
       opts.execution = exec;
-      doconsider(
-          team, loop.dependences(),
-          [&](index_t i) {
-            if (i > 0) {
-              x[static_cast<std::size_t>(i)] +=
-                  loop.b[static_cast<std::size_t>(i)] *
-                  x[static_cast<std::size_t>(
-                      loop.ia[static_cast<std::size_t>(i)])];
-            }
-          },
-          opts);
+      doconsider(team, loop.dependences(), loop.body(x), opts);
       EXPECT_EQ(x, expected) << "sched=" << static_cast<int>(sched)
                              << " exec=" << static_cast<int>(exec);
     }
@@ -284,13 +277,7 @@ TEST_P(ExecutorsTest, PlanIsReusableAcrossExecutions) {
   const auto expected = loop.sequential_result();
   for (int rep = 0; rep < 5; ++rep) {
     std::vector<real_t> x = loop.x0;
-    plan.execute(team, [&](index_t i) {
-      if (i > 0) {
-        x[static_cast<std::size_t>(i)] +=
-            loop.b[static_cast<std::size_t>(i)] *
-            x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
-      }
-    });
+    plan.execute(team, loop.body(x));
     EXPECT_EQ(x, expected) << "repetition " << rep;
   }
 }
@@ -304,36 +291,35 @@ TEST_P(ExecutorsTest, ParallelInspectorProducesSamePlan) {
   const Plan a(team, loop.dependences(), seq_opts);
   const Plan b(team, loop.dependences(), par_opts);
   EXPECT_EQ(a.wavefronts().wave, b.wavefronts().wave);
+  EXPECT_EQ(a.wavefronts().order, b.wavefronts().order);
+  EXPECT_EQ(a.wavefronts().wave_ptr, b.wavefronts().wave_ptr);
   EXPECT_EQ(a.schedule().order, b.schedule().order);
+  EXPECT_EQ(a.schedule().proc_ptr, b.schedule().proc_ptr);
+  EXPECT_EQ(a.schedule().phase_ptr, b.schedule().phase_ptr);
   EXPECT_EQ(a.fingerprint(), b.fingerprint());
 }
 
 TEST_P(ExecutorsTest, SelfScheduledMatchesSequential) {
   ThreadTeam team(GetParam());
   auto loop = SimpleLoop::make(611, 31);
-  const auto g = loop.dependences();
-  const auto wf = compute_wavefronts(g);
-  const auto order = wavefront_sorted_list(wf);
-  ReadyFlags ready(g.size());
+  const Plan plan = make_plan(team, loop.dependences(),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kSelfScheduled);
   std::vector<real_t> x = loop.x0;
-  execute_self_scheduled(team, order, g, ready, [&](index_t i) {
-    if (i > 0) {
-      x[static_cast<std::size_t>(i)] +=
-          loop.b[static_cast<std::size_t>(i)] *
-          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
-    }
-  });
+  plan.execute(team, loop.body(x));
   EXPECT_EQ(x, loop.sequential_result());
 }
 
 TEST_P(ExecutorsTest, SelfScheduledRunsEveryIterationOnce) {
   ThreadTeam team(GetParam());
   const auto g = SimpleLoop::make(500, 32).dependences();
-  const auto order = wavefront_sorted_list(compute_wavefronts(g));
-  ReadyFlags ready(g.size());
-  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(g.size()));
+  const index_t n = g.size();
+  const Plan plan = make_plan(team, DependenceGraph(g),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kSelfScheduled);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
   for (auto& h : hits) h.store(0);
-  execute_self_scheduled(team, order, g, ready, [&](index_t i) {
+  plan.execute(team, [&](index_t i) {
     hits[static_cast<std::size_t>(i)].fetch_add(1);
   });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
@@ -344,14 +330,16 @@ TEST_P(ExecutorsTest, SelfScheduledRespectsDependences) {
   const auto spec = SyntheticSpec{.mesh = 18, .lambda = 3.0,
                                   .mean_dist = 2.0, .seed = 33};
   const auto g = synthetic_dependences(spec);
-  const auto order = wavefront_sorted_list(compute_wavefronts(g));
-  ReadyFlags ready(g.size());
+  const index_t n = g.size();
+  const Plan plan = make_plan(team, DependenceGraph(g),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kSelfScheduled);
   std::atomic<long> clock{0};
-  std::vector<long> stamp(static_cast<std::size_t>(g.size()), -1);
-  execute_self_scheduled(team, order, g, ready, [&](index_t i) {
+  std::vector<long> stamp(static_cast<std::size_t>(n), -1);
+  plan.execute(team, [&](index_t i) {
     stamp[static_cast<std::size_t>(i)] = clock.fetch_add(1);
   });
-  for (index_t i = 0; i < g.size(); ++i) {
+  for (index_t i = 0; i < n; ++i) {
     for (const index_t d : g.deps(i)) {
       EXPECT_LT(stamp[static_cast<std::size_t>(d)],
                 stamp[static_cast<std::size_t>(i)]);
@@ -366,20 +354,12 @@ TEST_P(WindowedExecutorTest, MatchesSequentialAtEveryWindow) {
   const auto [nthreads, window] = GetParam();
   ThreadTeam team(nthreads);
   auto loop = SimpleLoop::make(457, 41);
-  const auto g = loop.dependences();
-  const auto wf = compute_wavefronts(g);
-  const auto s = global_schedule(wf, team.size());
-  ReadyFlags ready(g.size());
+  DoconsiderOptions opts;
+  opts.execution = ExecutionPolicy::kWindowed;
+  opts.window = static_cast<index_t>(window);
+  const Plan plan(team, loop.dependences(), opts);
   std::vector<real_t> x = loop.x0;
-  execute_windowed(team, s, g, ready, static_cast<index_t>(window),
-                   [&](index_t i) {
-                     if (i > 0) {
-                       x[static_cast<std::size_t>(i)] +=
-                           loop.b[static_cast<std::size_t>(i)] *
-                           x[static_cast<std::size_t>(
-                               loop.ia[static_cast<std::size_t>(i)])];
-                     }
-                   });
+  plan.execute(team, loop.body(x));
   EXPECT_EQ(x, loop.sequential_result());
 }
 
@@ -389,16 +369,18 @@ TEST_P(WindowedExecutorTest, RespectsDependences) {
   const auto spec = SyntheticSpec{.mesh = 16, .lambda = 3.0,
                                   .mean_dist = 2.0, .seed = 44};
   const auto g = synthetic_dependences(spec);
-  const auto wf = compute_wavefronts(g);
-  const auto s = local_schedule(wf, wrapped_partition(g.size(), nthreads));
-  ReadyFlags ready(g.size());
+  const index_t n = g.size();
+  DoconsiderOptions opts;
+  opts.scheduling = SchedulingPolicy::kLocalWrapped;
+  opts.execution = ExecutionPolicy::kWindowed;
+  opts.window = static_cast<index_t>(window);
+  const Plan plan(team, DependenceGraph(g), opts);
   std::atomic<long> clock{0};
-  std::vector<long> stamp(static_cast<std::size_t>(g.size()), -1);
-  execute_windowed(team, s, g, ready, static_cast<index_t>(window),
-                   [&](index_t i) {
-                     stamp[static_cast<std::size_t>(i)] = clock.fetch_add(1);
-                   });
-  for (index_t i = 0; i < g.size(); ++i) {
+  std::vector<long> stamp(static_cast<std::size_t>(n), -1);
+  plan.execute(team, [&](index_t i) {
+    stamp[static_cast<std::size_t>(i)] = clock.fetch_add(1);
+  });
+  for (index_t i = 0; i < n; ++i) {
     for (const index_t d : g.deps(i)) {
       ASSERT_LT(stamp[static_cast<std::size_t>(d)],
                 stamp[static_cast<std::size_t>(i)]);
@@ -413,31 +395,25 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(ExecutorsEdge, EmptyLoopIsANoop) {
   ThreadTeam team(4);
-  DependenceGraph g;
-  const auto wf = compute_wavefronts(g);
-  const auto s = global_schedule(wf, team.size());
   int count = 0;
-  execute_prescheduled(team, s, [&](index_t) { ++count; });
-  ReadyFlags ready(0);
-  execute_self(team, s, g, ready, [&](index_t) { ++count; });
+  for (const auto exec :
+       {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting}) {
+    DoconsiderOptions opts;
+    opts.execution = exec;
+    const Plan plan(team, DependenceGraph(), opts);
+    plan.execute(team, [&](index_t) { ++count; });
+  }
   EXPECT_EQ(count, 0);
 }
 
 TEST(ExecutorsEdge, MoreProcessorsThanIterations) {
   ThreadTeam team(8);
   auto loop = SimpleLoop::make(5, 23);
-  const auto g = loop.dependences();
-  const auto wf = compute_wavefronts(g);
-  const auto s = global_schedule(wf, team.size());
-  ReadyFlags ready(5);
+  const Plan plan = make_plan(team, loop.dependences(),
+                              SchedulingPolicy::kGlobal,
+                              ExecutionPolicy::kSelfExecuting);
   std::vector<real_t> x = loop.x0;
-  execute_self(team, s, g, ready, [&](index_t i) {
-    if (i > 0) {
-      x[static_cast<std::size_t>(i)] +=
-          loop.b[static_cast<std::size_t>(i)] *
-          x[static_cast<std::size_t>(loop.ia[static_cast<std::size_t>(i)])];
-    }
-  });
+  plan.execute(team, loop.body(x));
   EXPECT_EQ(x, loop.sequential_result());
 }
 

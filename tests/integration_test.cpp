@@ -35,9 +35,11 @@ TEST(IntegrationTest, FullPipelineOnEveryStandardProblem) {
     std::vector<real_t> rhs(prob.system.rhs);
     std::vector<real_t> y_par(static_cast<std::size_t>(n)),
         y_seq(static_cast<std::size_t>(n));
-    ReadyFlags ready(n);
     const auto& lower = ilu.lower();
-    execute_self(team, s, g, ready, [&](index_t i) {
+    DoconsiderOptions opts;
+    opts.execution = ExecutionPolicy::kSelfExecuting;
+    const Plan plan(team, DependenceGraph(g), opts);
+    plan.execute(team, [&](index_t i) {
       real_t sum = rhs[static_cast<std::size_t>(i)];
       const auto cs = lower.row_cols(i);
       const auto vs = lower.row_vals(i);

@@ -10,7 +10,6 @@
 #include <thread>
 #include <vector>
 
-#include "core/doconsider.hpp"
 #include "core/plan.hpp"
 #include "core/runtime.hpp"
 #include "solver/ilu_preconditioner.hpp"
@@ -153,7 +152,7 @@ TEST_P(PlanTest, PooledExecuteIsRepeatable) {
 INSTANTIATE_TEST_SUITE_P(Teams, PlanTest, ::testing::Values(1, 2, 4));
 
 TEST(PlanConcurrency, TwoTeamsExecuteTheSameSharedPlanSimultaneously) {
-  // The v2 contract the old DoconsiderPlan could not honor: one const Plan,
+  // The v2 contract the old v1 plan type could not honor: one const Plan,
   // two independent thread teams, concurrent executions on independent
   // vectors (per-execution state comes from the plan's pool). Both results
   // must match the sequential reference. Runs under the TSan CI job.
@@ -299,20 +298,43 @@ TEST(RuntimeCache, RepeatedPreconditionerSetupReusesCachedPlans) {
   EXPECT_EQ(z1, z2);
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DoconsiderCompat, DeprecatedShimStillExecutes) {
+TEST(PlanStatsTest, FootprintAndShapeMatchTheArtifact) {
   ThreadTeam team(2);
-  auto loop = SimpleLoop::make(222, 87);
-  DoconsiderOptions opts;
-  opts.execution = ExecutionPolicy::kSelfExecuting;
-  DoconsiderPlan plan(team, loop.dependences(), opts);
-  std::vector<real_t> x = loop.x0;
-  plan.execute(team, loop.body(x));
-  EXPECT_EQ(x, loop.sequential_result());
-  EXPECT_EQ(plan.plan().fingerprint(), loop.dependences().fingerprint());
+  auto loop = SimpleLoop::make(333, 87);
+  const Plan plan(team, loop.dependences());
+  const PlanStats st = plan.stats();
+
+  EXPECT_EQ(st.n, plan.size());
+  EXPECT_EQ(st.edges, plan.graph().num_edges());
+  EXPECT_EQ(st.phases, plan.wavefronts().num_waves);
+  EXPECT_EQ(st.max_wavefront, plan.wavefronts().max_wave_size());
+  EXPECT_DOUBLE_EQ(st.avg_wavefront,
+                   static_cast<double>(st.n) / static_cast<double>(st.phases));
+  EXPECT_EQ(st.bytes, plan.memory_footprint());
+
+  // The footprint is exactly the index arrays the executor walks: the
+  // dependence CSR (n+1 + edges), the wavefront levels + membership CSR
+  // (n + n + phases+1), and the flat schedule (n + nproc+1 +
+  // nproc*(phases+1) offsets).
+  const std::size_t n = static_cast<std::size_t>(st.n);
+  const std::size_t e = static_cast<std::size_t>(st.edges);
+  const std::size_t ph = static_cast<std::size_t>(st.phases);
+  const std::size_t nproc = static_cast<std::size_t>(plan.nproc());
+  const std::size_t expected_entries =
+      (n + 1 + e) + (n + n + ph + 1) + (n + nproc + 1 + nproc * (ph + 1));
+  EXPECT_EQ(st.bytes, expected_entries * sizeof(index_t));
 }
-#pragma GCC diagnostic pop
+
+TEST(PlanStatsTest, EmptyPlanHasZeroShape) {
+  ThreadTeam team(2);
+  const Plan plan(team, DependenceGraph());
+  const PlanStats st = plan.stats();
+  EXPECT_EQ(st.n, 0);
+  EXPECT_EQ(st.phases, 0);
+  EXPECT_EQ(st.max_wavefront, 0);
+  EXPECT_DOUBLE_EQ(st.avg_wavefront, 0.0);
+  EXPECT_GT(st.bytes, 0u);  // the empty CSRs still hold their end offsets
+}
 
 }  // namespace
 }  // namespace rtl

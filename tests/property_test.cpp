@@ -106,18 +106,133 @@ TEST_P(DagPropertyTest, ExecutionOrderRespectsDependences) {
   const auto p = GetParam();
   const auto g = random_dag(p.n, p.max_deg, p.seed);
   ThreadTeam team(p.nproc);
-  const auto wf = compute_wavefronts(g);
-  const auto s = local_schedule(wf, wrapped_partition(g.size(), p.nproc));
+  DoconsiderOptions opts;
+  opts.scheduling = SchedulingPolicy::kLocalWrapped;
+  opts.execution = ExecutionPolicy::kSelfExecuting;
+  const Plan plan(team, DependenceGraph(g), opts);
   std::atomic<long> clock{0};
   std::vector<long> stamp(static_cast<std::size_t>(g.size()), -1);
-  ReadyFlags ready(g.size());
-  execute_self(team, s, g, ready, [&](index_t i) {
+  plan.execute(team, [&](index_t i) {
     stamp[static_cast<std::size_t>(i)] = clock.fetch_add(1);
   });
   for (index_t i = 0; i < g.size(); ++i) {
     for (const index_t d : g.deps(i)) {
       ASSERT_LT(stamp[static_cast<std::size_t>(d)],
                 stamp[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+/// Naive jagged reference construction of a schedule: per-processor
+/// vector-of-vectors built exactly as the paper describes the policies —
+/// global = stable-sort the whole index set by wavefront and deal wrapped;
+/// local = fixed wrapped/block assignment, each processor's list stably
+/// sorted by wavefront — with *local* per-processor phase offsets. The
+/// flat CSR layout must reproduce it iteration-for-iteration.
+struct JaggedSchedule {
+  std::vector<std::vector<index_t>> order;
+  std::vector<std::vector<index_t>> phase_ptr;  // local offsets per proc
+};
+
+JaggedSchedule jagged_reference(const WavefrontInfo& wf,
+                                SchedulingPolicy policy, int nproc) {
+  const index_t n = wf.size();
+  JaggedSchedule j;
+  j.order.resize(static_cast<std::size_t>(nproc));
+  if (policy == SchedulingPolicy::kGlobal) {
+    std::vector<index_t> list(static_cast<std::size_t>(n));
+    std::iota(list.begin(), list.end(), 0);
+    std::stable_sort(list.begin(), list.end(),
+                     [&](index_t a, index_t b) {
+                       return wf.wave[static_cast<std::size_t>(a)] <
+                              wf.wave[static_cast<std::size_t>(b)];
+                     });
+    for (index_t k = 0; k < n; ++k) {
+      j.order[static_cast<std::size_t>(k % nproc)].push_back(
+          list[static_cast<std::size_t>(k)]);
+    }
+  } else {
+    std::vector<int> owner(static_cast<std::size_t>(n));
+    if (policy == SchedulingPolicy::kLocalWrapped) {
+      for (index_t i = 0; i < n; ++i) {
+        owner[static_cast<std::size_t>(i)] = static_cast<int>(i % nproc);
+      }
+    } else {
+      for (int p = 0; p < nproc; ++p) {
+        const BlockRange r = block_range(n, p, nproc);
+        for (index_t i = r.begin; i < r.end; ++i) {
+          owner[static_cast<std::size_t>(i)] = p;
+        }
+      }
+    }
+    for (index_t i = 0; i < n; ++i) {
+      j.order[static_cast<std::size_t>(owner[static_cast<std::size_t>(i)])]
+          .push_back(i);
+    }
+    for (auto& mine : j.order) {
+      std::stable_sort(mine.begin(), mine.end(),
+                       [&](index_t a, index_t b) {
+                         return wf.wave[static_cast<std::size_t>(a)] <
+                                wf.wave[static_cast<std::size_t>(b)];
+                       });
+    }
+  }
+  j.phase_ptr.assign(static_cast<std::size_t>(nproc),
+                     std::vector<index_t>(
+                         static_cast<std::size_t>(wf.num_waves) + 1, 0));
+  for (int p = 0; p < nproc; ++p) {
+    auto& ptr = j.phase_ptr[static_cast<std::size_t>(p)];
+    for (const index_t i : j.order[static_cast<std::size_t>(p)]) {
+      ++ptr[static_cast<std::size_t>(wf.wave[static_cast<std::size_t>(i)]) +
+            1];
+    }
+    for (std::size_t w = 0; w + 1 < ptr.size(); ++w) ptr[w + 1] += ptr[w];
+  }
+  return j;
+}
+
+TEST_P(DagPropertyTest, FlatScheduleMatchesJaggedReference) {
+  // The CSR-layout schedule (one order array + proc_ptr/phase_ptr) must be
+  // iteration-for-iteration identical to the naive jagged construction for
+  // every scheduling policy and processor count.
+  const auto param = GetParam();
+  const auto g = random_dag(param.n, param.max_deg, param.seed);
+  const auto wf = compute_wavefronts(g);
+  for (const auto policy :
+       {SchedulingPolicy::kGlobal, SchedulingPolicy::kLocalWrapped,
+        SchedulingPolicy::kLocalBlock}) {
+    for (int nproc = 1; nproc <= 8; ++nproc) {
+      Schedule s;
+      switch (policy) {
+        case SchedulingPolicy::kGlobal:
+          s = global_schedule(wf, nproc);
+          break;
+        case SchedulingPolicy::kLocalWrapped:
+          s = local_schedule(wf, wrapped_partition(g.size(), nproc));
+          break;
+        case SchedulingPolicy::kLocalBlock:
+          s = local_schedule(wf, block_partition(g.size(), nproc));
+          break;
+      }
+      const auto j = jagged_reference(wf, policy, nproc);
+      ASSERT_EQ(s.nproc, nproc);
+      ASSERT_EQ(s.num_phases, wf.num_waves);
+      for (int p = 0; p < nproc; ++p) {
+        const auto flat = s.proc(p);
+        const auto& ref = j.order[static_cast<std::size_t>(p)];
+        ASSERT_EQ(std::vector<index_t>(flat.begin(), flat.end()), ref)
+            << "policy=" << static_cast<int>(policy) << " nproc=" << nproc
+            << " p=" << p;
+        const auto row = s.phase_row(p);
+        const auto& jptr = j.phase_ptr[static_cast<std::size_t>(p)];
+        ASSERT_EQ(row.size(), jptr.size());
+        const index_t base = s.proc_ptr[static_cast<std::size_t>(p)];
+        for (std::size_t w = 0; w < row.size(); ++w) {
+          ASSERT_EQ(row[w] - base, jptr[w])
+              << "policy=" << static_cast<int>(policy)
+              << " nproc=" << nproc << " p=" << p << " w=" << w;
+        }
+      }
     }
   }
 }

@@ -1,9 +1,11 @@
-// Tests for partitions and the global/local schedulers.
+// Tests for partitions and the global/local schedulers over the flat
+// CSR-style schedule layout (one `order` array + `proc_ptr`/`phase_ptr`).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
+#include <vector>
 
 #include "core/partition.hpp"
 #include "core/schedule.hpp"
@@ -21,6 +23,10 @@ WavefrontInfo mesh_wavefronts(index_t nx, index_t ny) {
   return compute_wavefronts(lower_solve_dependences(ilu.lower()));
 }
 
+std::vector<index_t> to_vec(std::span<const index_t> s) {
+  return {s.begin(), s.end()};
+}
+
 TEST(PartitionTest, WrappedAssignsModulo) {
   const auto part = wrapped_partition(10, 3);
   EXPECT_EQ(part.nproc(), 3);
@@ -34,21 +40,27 @@ TEST(PartitionTest, BlockAssignsContiguously) {
   for (index_t i = 1; i < 10; ++i) {
     EXPECT_GE(part.owner(i), part.owner(i - 1));
   }
-  const auto m = part.members();
   std::size_t total = 0;
-  for (const auto& v : m) total += v.size();
+  for (int p = 0; p < part.nproc(); ++p) total += part.members(p).size();
   EXPECT_EQ(total, 10u);
 }
 
 TEST(PartitionTest, MembersSortedAndDisjoint) {
   const auto part = wrapped_partition(23, 5);
-  const auto m = part.members();
   std::set<index_t> seen;
-  for (const auto& v : m) {
-    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
-    for (const index_t i : v) EXPECT_TRUE(seen.insert(i).second);
+  for (int p = 0; p < part.nproc(); ++p) {
+    const auto m = part.members(p);
+    EXPECT_TRUE(std::is_sorted(m.begin(), m.end()));
+    for (const index_t i : m) EXPECT_TRUE(seen.insert(i).second);
   }
   EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(PartitionTest, MembersAgreeWithOwner) {
+  const auto part = block_partition(29, 4);
+  for (int p = 0; p < part.nproc(); ++p) {
+    for (const index_t i : part.members(p)) EXPECT_EQ(part.owner(i), p);
+  }
 }
 
 TEST(PartitionTest, RejectsBadArgs) {
@@ -84,7 +96,7 @@ TEST(GlobalScheduleTest, OrderIsNonDecreasingInWavefront) {
   const auto wf = mesh_wavefronts(6, 9);
   const auto s = global_schedule(wf, 3);
   for (int p = 0; p < s.nproc; ++p) {
-    const auto& ord = s.order[static_cast<std::size_t>(p)];
+    const auto ord = s.proc(p);
     for (std::size_t k = 1; k < ord.size(); ++k) {
       EXPECT_LE(wf.wave[static_cast<std::size_t>(ord[k - 1])],
                 wf.wave[static_cast<std::size_t>(ord[k])]);
@@ -108,17 +120,24 @@ TEST(GlobalScheduleTest, WithinWavefrontIncreasingIndexOrder) {
 TEST(GlobalScheduleTest, SingleProcessorGetsSortedList) {
   const auto wf = mesh_wavefronts(3, 3);
   const auto s = global_schedule(wf, 1);
-  ASSERT_EQ(s.order.size(), 1u);
-  EXPECT_EQ(s.order[0].size(), 9u);
-  for (std::size_t k = 1; k < s.order[0].size(); ++k) {
-    EXPECT_LE(wf.wave[static_cast<std::size_t>(s.order[0][k - 1])],
-              wf.wave[static_cast<std::size_t>(s.order[0][k])]);
-  }
+  ASSERT_EQ(s.proc_ptr.size(), 2u);
+  EXPECT_EQ(s.proc(0).size(), 9u);
+  EXPECT_EQ(to_vec(s.proc(0)), wf.order);
 }
 
 TEST(GlobalScheduleTest, RejectsZeroProcessors) {
   const auto wf = mesh_wavefronts(2, 2);
   EXPECT_THROW(global_schedule(wf, 0), std::invalid_argument);
+}
+
+TEST(GlobalScheduleTest, RejectsHandBuiltInfoWithoutMembershipCsr) {
+  // A WavefrontInfo must come from compute_wavefronts* (which populate the
+  // order/wave_ptr CSR); a hand-built level array alone must throw, not
+  // read out of bounds.
+  WavefrontInfo wf;
+  wf.wave = {0, 0};
+  wf.num_waves = 1;
+  EXPECT_THROW(global_schedule(wf, 1), std::invalid_argument);
 }
 
 TEST(LocalScheduleTest, PreservesPartition) {
@@ -127,7 +146,7 @@ TEST(LocalScheduleTest, PreservesPartition) {
   const auto s = local_schedule(wf, part);
   validate_schedule(s, wf);
   for (int p = 0; p < s.nproc; ++p) {
-    for (const index_t i : s.order[static_cast<std::size_t>(p)]) {
+    for (const index_t i : s.proc(p)) {
       EXPECT_EQ(part.owner(i), p);
     }
   }
@@ -137,7 +156,7 @@ TEST(LocalScheduleTest, LocallySortedByWavefront) {
   const auto wf = mesh_wavefronts(6, 6);
   const auto s = local_schedule(wf, wrapped_partition(36, 5));
   for (int p = 0; p < s.nproc; ++p) {
-    const auto& ord = s.order[static_cast<std::size_t>(p)];
+    const auto ord = s.proc(p);
     for (std::size_t k = 1; k < ord.size(); ++k) {
       EXPECT_LE(wf.wave[static_cast<std::size_t>(ord[k - 1])],
                 wf.wave[static_cast<std::size_t>(ord[k])]);
@@ -163,7 +182,7 @@ TEST(LocalScheduleTest, BlockPartitionKeepsOwnership) {
   const auto s = local_schedule(wf, part);
   validate_schedule(s, wf);
   for (int p = 0; p < s.nproc; ++p) {
-    for (const index_t i : s.order[static_cast<std::size_t>(p)]) {
+    for (const index_t i : s.proc(p)) {
       EXPECT_EQ(part.owner(i), p);
     }
   }
@@ -178,51 +197,76 @@ TEST(LocalScheduleTest, SizeMismatchThrows) {
 TEST(OriginalOrderScheduleTest, StripesIndices) {
   const auto s = original_order_schedule(10, 3);
   EXPECT_EQ(s.num_phases, 1);
-  EXPECT_EQ(s.order[0], (std::vector<index_t>{0, 3, 6, 9}));
-  EXPECT_EQ(s.order[1], (std::vector<index_t>{1, 4, 7}));
-  EXPECT_EQ(s.order[2], (std::vector<index_t>{2, 5, 8}));
+  EXPECT_EQ(to_vec(s.proc(0)), (std::vector<index_t>{0, 3, 6, 9}));
+  EXPECT_EQ(to_vec(s.proc(1)), (std::vector<index_t>{1, 4, 7}));
+  EXPECT_EQ(to_vec(s.proc(2)), (std::vector<index_t>{2, 5, 8}));
 }
 
 TEST(SortedListTest, OrderedByWaveThenIndex) {
+  // The wavefront membership CSR doubles as the §4.2 sorted list L.
   const auto wf = mesh_wavefronts(6, 5);
-  const auto list = wavefront_sorted_list(wf);
-  ASSERT_EQ(list.size(), 30u);
-  for (std::size_t k = 1; k < list.size(); ++k) {
-    const index_t wa = wf.wave[static_cast<std::size_t>(list[k - 1])];
-    const index_t wb = wf.wave[static_cast<std::size_t>(list[k])];
-    EXPECT_TRUE(wa < wb || (wa == wb && list[k - 1] < list[k]));
+  ASSERT_EQ(wf.order.size(), 30u);
+  for (std::size_t k = 1; k < wf.order.size(); ++k) {
+    const index_t wa = wf.wave[static_cast<std::size_t>(wf.order[k - 1])];
+    const index_t wb = wf.wave[static_cast<std::size_t>(wf.order[k])];
+    EXPECT_TRUE(wa < wb || (wa == wb && wf.order[k - 1] < wf.order[k]));
   }
 }
 
-class ParallelGlobalScheduleTest : public ::testing::TestWithParam<int> {};
+TEST(SortedListTest, WavePtrSlicesAreTheWavefronts) {
+  const auto wf = mesh_wavefronts(7, 4);
+  ASSERT_EQ(wf.wave_ptr.size(), static_cast<std::size_t>(wf.num_waves) + 1);
+  for (index_t w = 0; w < wf.num_waves; ++w) {
+    for (const index_t i : wf.members(w)) {
+      EXPECT_EQ(wf.wave[static_cast<std::size_t>(i)], w);
+    }
+    EXPECT_EQ(wf.wave_size(w),
+              static_cast<index_t>(wf.members(w).size()));
+  }
+}
 
-TEST_P(ParallelGlobalScheduleTest, IdenticalToSequentialScheduler) {
+class ParallelWavefrontScheduleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelWavefrontScheduleTest, IdenticalToSequentialInspector) {
+  // The parallel inspector's blocked counting sort must reproduce the
+  // sequential membership CSR bit-for-bit, and therefore identical
+  // schedules for any processor count.
   ThreadTeam team(GetParam());
-  const auto wf = mesh_wavefronts(13, 11);
+  const auto sys = five_point(13, 11);
+  IluFactorization ilu(sys.a, 0);
+  const auto g = lower_solve_dependences(ilu.lower());
+  const auto seq_wf = compute_wavefronts(g);
+  const auto par_wf = compute_wavefronts_parallel(g, team);
+  EXPECT_EQ(par_wf.wave, seq_wf.wave);
+  EXPECT_EQ(par_wf.order, seq_wf.order);
+  EXPECT_EQ(par_wf.wave_ptr, seq_wf.wave_ptr);
   for (const int nproc : {1, 3, 8}) {
-    const auto seq = global_schedule(wf, nproc);
-    const auto par = global_schedule_parallel(wf, nproc, team);
+    const auto seq = global_schedule(seq_wf, nproc);
+    const auto par = global_schedule(par_wf, nproc);
     EXPECT_EQ(par.order, seq.order) << "nproc=" << nproc;
+    EXPECT_EQ(par.proc_ptr, seq.proc_ptr) << "nproc=" << nproc;
     EXPECT_EQ(par.phase_ptr, seq.phase_ptr) << "nproc=" << nproc;
   }
 }
 
-TEST_P(ParallelGlobalScheduleTest, ValidOnSyntheticGraph) {
+TEST_P(ParallelWavefrontScheduleTest, ValidOnSyntheticGraph) {
   ThreadTeam team(GetParam());
   const auto sys = five_point(17, 23);
   IluFactorization ilu(sys.a, 1);
-  const auto wf = compute_wavefronts(lower_solve_dependences(ilu.lower()));
-  const auto s = global_schedule_parallel(wf, 5, team);
+  const auto wf = compute_wavefronts_parallel(
+      lower_solve_dependences(ilu.lower()), team);
+  const auto s = global_schedule(wf, 5);
   validate_schedule(s, wf);
 }
 
-INSTANTIATE_TEST_SUITE_P(Teams, ParallelGlobalScheduleTest,
+INSTANTIATE_TEST_SUITE_P(Teams, ParallelWavefrontScheduleTest,
                          ::testing::Values(1, 2, 7, 16));
 
 TEST(ValidateScheduleTest, CatchesDuplicates) {
   const auto wf = mesh_wavefronts(2, 2);
   auto s = global_schedule(wf, 2);
-  s.order[0][0] = s.order[1][0];  // corrupt: duplicate + missing
+  // Corrupt: processor 0's first entry duplicates processor 1's first.
+  s.order[0] = s.order[static_cast<std::size_t>(s.proc_ptr[1])];
   EXPECT_THROW(validate_schedule(s, wf), std::invalid_argument);
 }
 
@@ -230,7 +274,18 @@ TEST(ValidateScheduleTest, CatchesWrongPhase) {
   const auto wf = mesh_wavefronts(3, 3);
   auto s = global_schedule(wf, 1);
   // Swap two entries across a phase boundary.
-  std::swap(s.order[0].front(), s.order[0].back());
+  std::swap(s.order.front(), s.order.back());
+  EXPECT_THROW(validate_schedule(s, wf), std::invalid_argument);
+}
+
+TEST(ValidateScheduleTest, CatchesInconsistentPointers) {
+  const auto wf = mesh_wavefronts(3, 3);
+  auto s = global_schedule(wf, 2);
+  auto good = s.proc_ptr;
+  s.proc_ptr[1] += 1;  // phase row 0 no longer ends at proc_ptr[1]
+  EXPECT_THROW(validate_schedule(s, wf), std::invalid_argument);
+  s.proc_ptr = good;
+  s.phase_ptr.pop_back();  // wrong row shape
   EXPECT_THROW(validate_schedule(s, wf), std::invalid_argument);
 }
 
