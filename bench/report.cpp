@@ -166,6 +166,8 @@ void Reporter::add_plan_cache(const Runtime::CacheCounters& counters) {
              "count");
   add_scalar("plan_cache", "misses", static_cast<double>(counters.misses),
              "count");
+  add_scalar("plan_cache", "evictions",
+             static_cast<double>(counters.evictions), "count");
   add_scalar("plan_cache", "entries", static_cast<double>(counters.entries),
              "count");
 }

@@ -109,9 +109,9 @@ class Reporter {
   /// gating.
   void add_plan_stats(const std::string& group, const PlanStats& stats);
 
-  /// Record `Runtime` plan-cache efficacy (hits/misses/entries, "count")
-  /// under the `plan_cache` group, so repeated-structure amortization
-  /// (§5.1.1) shows up in the JSON trend data.
+  /// Record `Runtime` plan-cache efficacy (hits/misses/evictions/entries,
+  /// "count") under the `plan_cache` group, so repeated-structure
+  /// amortization (§5.1.1) shows up in the JSON trend data.
   void add_plan_cache(const Runtime::CacheCounters& counters);
 
   /// Attach an extra config entry (beyond the standard RTL_* knobs).

@@ -157,9 +157,12 @@ int main(int argc, char** argv) {
                 cold.get() == warm.get() ? "warm plan_for reused it"
                                          : "UNEXPECTED rebuild");
     std::printf(
-        "plan cache       : %llu hit(s), %llu miss(es), %zu cached plan(s)\n",
+        "plan cache       : %llu hit(s), %llu miss(es), %llu eviction(s), "
+        "%zu/%zu cached plan(s)\n",
         static_cast<unsigned long long>(cc.hits),
-        static_cast<unsigned long long>(cc.misses), cc.entries);
+        static_cast<unsigned long long>(cc.misses),
+        static_cast<unsigned long long>(cc.evictions), cc.entries,
+        rt.plan_cache_capacity());
 
     // The flat inspector artifact: what the executor walks on every run.
     const PlanStats st = cold->stats();

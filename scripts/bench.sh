@@ -95,10 +95,10 @@ if [ "$SKIP_BUILD" != 1 ]; then
   cmake --build "$BUILD_DIR" -j"$(nproc)"
 fi
 
-# All nine drivers; a missing binary (bench_micro without Google Benchmark)
+# All ten drivers; a missing binary (bench_micro without Google Benchmark)
 # is recorded as skipped rather than silently omitted.
 DRIVERS="bench_table1 bench_table2 bench_table3 bench_table4 bench_table5 \
-bench_fig12 bench_model bench_ablation bench_micro"
+bench_fig12 bench_model bench_ablation bench_batch bench_micro"
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT

@@ -78,8 +78,25 @@ class ExecState {
   [[nodiscard]] ReadyFlags& ready() noexcept { return ready_; }
   [[nodiscard]] std::atomic<index_t>& cursor() noexcept { return cursor_; }
 
+  /// Declare the batch width of the next execution (>= 1). This makes the
+  /// ready flags batch-aware without widening them: with width k, a
+  /// published flag i promises that iteration i's results for **all** k
+  /// right-hand sides are visible — batched bodies complete the full
+  /// k-sweep of an iteration before the executor publishes its flag, so
+  /// one flag per iteration (and one barrier per phase) suffices for any
+  /// k. Called by `Plan::execute_batch`; plain `execute` leaves the width
+  /// at its previous value, which is harmless (the width only documents
+  /// what a set flag covers).
+  void prepare_batch(index_t width) noexcept {
+    assert(width >= 1);
+    batch_width_ = width;
+  }
+  /// Batch width of the last `prepare_batch` (1 until a batched run).
+  [[nodiscard]] index_t batch_width() const noexcept { return batch_width_; }
+
  private:
   ReadyFlags ready_;
+  index_t batch_width_ = 1;
   alignas(cache_line_size) std::atomic<index_t> cursor_{0};
 };
 
@@ -142,6 +159,29 @@ class Plan {
   void execute(ThreadTeam& team, Body&& body) const {
     const StateLease lease(*this);
     execute(team, std::forward<Body>(body), lease.state());
+  }
+
+  /// Batched execution: one run of the planned loop in which `body(i)`
+  /// (or `body(tid, i)`) sweeps all `batch` right-hand sides of iteration
+  /// i before returning. The synchronization cost is independent of the
+  /// batch width — the pre-scheduled executor still pays one barrier per
+  /// wavefront phase and the flag-based executors one ready publish per
+  /// iteration, because `state`'s flags become batch-aware (see
+  /// `ExecState::prepare_batch`). The kernel layer
+  /// (kernel/bound_kernel.hpp) is the intended caller.
+  template <class Body>
+  void execute_batch(ThreadTeam& team, index_t batch, Body&& body,
+                     ExecState& state) const {
+    assert(batch >= 1);
+    state.prepare_batch(batch);
+    execute(team, std::forward<Body>(body), state);
+  }
+
+  /// Batched execution with a pooled ExecState.
+  template <class Body>
+  void execute_batch(ThreadTeam& team, index_t batch, Body&& body) const {
+    const StateLease lease(*this);
+    execute_batch(team, batch, std::forward<Body>(body), lease.state());
   }
 
   [[nodiscard]] const DependenceGraph& graph() const noexcept {

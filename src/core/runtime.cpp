@@ -1,6 +1,24 @@
 #include "core/runtime.hpp"
 
+#include <cerrno>
+#include <cstdlib>
+
 namespace rtl {
+
+std::size_t Runtime::default_plan_cache_capacity() {
+  if (const char* v = std::getenv("RTL_PLAN_CACHE_CAP");
+      v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(v, &end, 10);
+    // Garbage and out-of-range values fall back to the default rather
+    // than silently re-creating an effectively unbounded cache.
+    if (errno == 0 && end != nullptr && *end == '\0' && parsed >= 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return 64;
+}
 
 std::size_t Runtime::PlanKeyHash::operator()(
     const PlanKey& k) const noexcept {
@@ -32,7 +50,9 @@ std::shared_ptr<const Plan> Runtime::plan_for(DependenceGraph graph,
   const std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = cache_.find(key); it != cache_.end()) {
     ++hits_;
-    return it->second;
+    // Refresh the LRU position: this entry is now the most recent.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
   }
   ++misses_;
   // Private trusted constructor: reuses the fingerprint computed for the
@@ -40,18 +60,28 @@ std::shared_ptr<const Plan> Runtime::plan_for(DependenceGraph graph,
   // because make_shared cannot reach a private constructor).
   const std::shared_ptr<const Plan> plan(
       new Plan(team_, std::move(graph), options, fingerprint));
-  cache_.emplace(key, plan);
+  if (capacity_ == 0) return plan;  // caching disabled: build-and-return
+  lru_.emplace_front(key, plan);
+  cache_.emplace(key, lru_.begin());
+  if (cache_.size() > capacity_) {
+    // Evict the least-recently-used plan; callers holding the shared_ptr
+    // keep it alive, the cache just forgets it.
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
   return plan;
 }
 
 Runtime::CacheCounters Runtime::plan_cache_counters() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return {hits_, misses_, cache_.size()};
+  return {hits_, misses_, evictions_, cache_.size()};
 }
 
 void Runtime::clear_plan_cache() {
   const std::lock_guard<std::mutex> lock(mutex_);
   cache_.clear();
+  lru_.clear();
 }
 
 }  // namespace rtl

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "core/plan.hpp"
 #include "runtime/thread_team.hpp"
@@ -19,12 +21,27 @@
 /// Krylov drivers) are built on it; heavy concurrent traffic can share one
 /// Runtime's plans across threads because `Plan::execute` is const (each
 /// concurrent execution still needs its own team).
+///
+/// The cache is bounded (LRU): a long-lived service cycling through many
+/// distinct structures evicts the least-recently-used plan instead of
+/// growing without limit. Callers holding a `shared_ptr` to an evicted
+/// plan keep it alive and executable; only the cache entry is dropped.
 namespace rtl {
 
 class Runtime {
  public:
-  /// Spawn a team of `num_threads` members and an empty plan cache.
-  explicit Runtime(int num_threads) : team_(num_threads) {}
+  /// Cache bound used when the constructor is not given one explicitly:
+  /// the `RTL_PLAN_CACHE_CAP` environment variable when set to a
+  /// non-negative integer, else 64 entries.
+  [[nodiscard]] static std::size_t default_plan_cache_capacity();
+
+  /// Spawn a team of `num_threads` members and an empty plan cache
+  /// holding at most `plan_cache_capacity` entries (0 disables caching:
+  /// every `plan_for` builds and returns an uncached plan).
+  explicit Runtime(int num_threads)
+      : Runtime(num_threads, default_plan_cache_capacity()) {}
+  Runtime(int num_threads, std::size_t plan_cache_capacity)
+      : team_(num_threads), capacity_(plan_cache_capacity) {}
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -37,26 +54,35 @@ class Runtime {
   /// Team size (the processor count every cached plan targets).
   [[nodiscard]] int size() const noexcept { return team_.size(); }
 
+  /// Maximum number of cached plans (0 = caching disabled).
+  [[nodiscard]] std::size_t plan_cache_capacity() const noexcept {
+    return capacity_;
+  }
+
   /// Return the cached plan for `graph`'s structure under `options`, or
   /// run the inspector and cache the result. The key is (structure
   /// fingerprint, vertex count, edge count, normalized options) — the team
   /// size is part of the key implicitly, since a Runtime builds every plan
   /// for its one fixed-size team. On a hit the inspector is skipped
-  /// entirely and `graph` is discarded. Thread-safe; on concurrent misses,
-  /// builds serialize on the cache mutex (the inspector may use the owned
-  /// team).
+  /// entirely and `graph` is discarded; a hit also refreshes the entry's
+  /// LRU position. A miss that overflows the capacity evicts the
+  /// least-recently-used entry. Thread-safe; on concurrent misses, builds
+  /// serialize on the cache mutex (the inspector may use the owned team).
   [[nodiscard]] std::shared_ptr<const Plan> plan_for(
       DependenceGraph graph, DoconsiderOptions options = {});
 
-  /// Cache observability: lifetime hit/miss counts and current entries.
+  /// Cache observability: lifetime hit/miss/eviction counts and current
+  /// entries.
   struct CacheCounters {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
     std::size_t entries = 0;
   };
   [[nodiscard]] CacheCounters plan_cache_counters() const;
 
   /// Drop every cached plan (shared_ptrs held by callers stay valid).
+  /// Does not count as evictions — those are capacity pressure.
   void clear_plan_cache();
 
  private:
@@ -75,12 +101,18 @@ class Runtime {
     std::size_t operator()(const PlanKey& k) const noexcept;
   };
 
+  /// LRU order: front = most recently used. The map indexes into the list
+  /// so hit/refresh/evict are all O(1).
+  using LruList = std::list<std::pair<PlanKey, std::shared_ptr<const Plan>>>;
+
   ThreadTeam team_;
+  const std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::unordered_map<PlanKey, std::shared_ptr<const Plan>, PlanKeyHash>
-      cache_;
-  std::uint64_t hits_ = 0;    // guarded by mutex_
-  std::uint64_t misses_ = 0;  // guarded by mutex_
+  LruList lru_;
+  std::unordered_map<PlanKey, LruList::iterator, PlanKeyHash> cache_;
+  std::uint64_t hits_ = 0;       // guarded by mutex_
+  std::uint64_t misses_ = 0;     // guarded by mutex_
+  std::uint64_t evictions_ = 0;  // guarded by mutex_
 };
 
 }  // namespace rtl

@@ -1,6 +1,8 @@
 #include "runtime/thread_team.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <cstdio>
 
 #include "runtime/spin_wait.hpp"
 
@@ -9,11 +11,33 @@ namespace rtl {
 namespace {
 // How long a worker spins for new work before blocking on the cv.
 constexpr int kDispatchSpins = 1 << 14;
+
+// Whether the process has already warned about an oversubscribed team.
+std::atomic<bool> g_oversubscription_warned{false};
 }  // namespace
+
+bool ThreadTeam::oversubscription_warned() noexcept {
+  return g_oversubscription_warned.load(std::memory_order_relaxed);
+}
 
 ThreadTeam::ThreadTeam(int num_threads)
     : num_threads_(num_threads), barrier_(num_threads) {
   assert(num_threads >= 1);
+  // Oversubscription works (workers spin briefly, then block), but the
+  // busy-wait synchronization paths serialize through the OS scheduler and
+  // parallel timings stop meaning anything — warn once per process so a
+  // service log shows why (docs/PERF.md "Oversubscription caveat").
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && static_cast<unsigned>(num_threads) > hw &&
+      !g_oversubscription_warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "rtl: warning: ThreadTeam(%d) oversubscribes the %u "
+                 "hardware thread(s) of this host; busy-wait "
+                 "synchronization will serialize through the OS scheduler "
+                 "and parallel timings are not meaningful (see docs/PERF.md)"
+                 "\n",
+                 num_threads, hw);
+  }
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int tid = 1; tid < num_threads; ++tid) {
     workers_.emplace_back([this, tid] { worker_loop(tid); });

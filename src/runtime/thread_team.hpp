@@ -34,7 +34,14 @@ class ThreadTeam {
  public:
   /// Spawn a team of `num_threads` members (>= 1). The constructor spawns
   /// `num_threads - 1` workers; the caller of `run` acts as member 0.
+  /// A team larger than `std::thread::hardware_concurrency()` still works
+  /// but logs a one-time (per process) warning to stderr: oversubscribed
+  /// busy-wait synchronization serializes through the OS scheduler and
+  /// parallel timings stop being meaningful (docs/PERF.md).
   explicit ThreadTeam(int num_threads);
+
+  /// Whether the oversubscription warning has fired in this process.
+  [[nodiscard]] static bool oversubscription_warned() noexcept;
 
   /// Joins all workers.
   ~ThreadTeam();

@@ -2,6 +2,22 @@
 
 namespace rtl {
 
+namespace {
+
+/// The Figure 13 loop body as a named functor: one row elimination per
+/// executor iteration, with the per-thread workspace selected by tid.
+struct FactorRowBody {
+  IluFactorization* ilu;
+  const CsrMatrix* a;
+  IluFactorization::Workspace* workspaces;
+
+  void operator()(int tid, index_t i) const {
+    ilu->factor_row(*a, i, workspaces[static_cast<std::size_t>(tid)]);
+  }
+};
+
+}  // namespace
+
 IluPreconditioner::IluPreconditioner(Runtime& rt, const CsrMatrix& a,
                                      int level, DoconsiderOptions options)
     : ilu_(a, level) {
@@ -22,18 +38,20 @@ IluPreconditioner::IluPreconditioner(ThreadTeam& team, const CsrMatrix& a,
 void IluPreconditioner::init_workspaces(int team_size) {
   workspaces_.reserve(static_cast<std::size_t>(team_size));
   for (int t = 0; t < team_size; ++t) workspaces_.emplace_back(ilu_.size());
-  tmp_.resize(static_cast<std::size_t>(ilu_.size()));
 }
 
 void IluPreconditioner::factor(ThreadTeam& team, const CsrMatrix& a) {
-  factor_plan_->execute(team, [&](int tid, index_t i) {
-    ilu_.factor_row(a, i, workspaces_[static_cast<std::size_t>(tid)]);
-  });
+  factor_plan_->execute(team, FactorRowBody{&ilu_, &a, workspaces_.data()});
 }
 
 void IluPreconditioner::apply(ThreadTeam& team, std::span<const real_t> r,
                               std::span<real_t> z) {
-  solver_->solve(team, r, tmp_, z);
+  solver_->kernel().apply(team, r, z);
+}
+
+void IluPreconditioner::apply_batch(ThreadTeam& team, ConstBatchView r,
+                                    BatchView z) {
+  solver_->solve(team, r, z);
 }
 
 }  // namespace rtl

@@ -6,6 +6,7 @@
 
 #include "core/plan.hpp"
 #include "core/runtime.hpp"
+#include "kernel/batch.hpp"
 #include "runtime/thread_team.hpp"
 #include "solver/parallel_triangular.hpp"
 #include "solver/preconditioner.hpp"
@@ -19,11 +20,13 @@ namespace rtl {
 ///
 /// Construction performs the symbolic factorization (sequential, Appendix
 /// II §2.3) and the inspectors for both the numeric factorization and the
-/// triangular solves; `factor()` runs the parallel numeric factorization
-/// (Figure 13's loop parallelized exactly like the solve) and may be called
-/// again whenever A's values change. Built on a `Runtime`, the inspectors
-/// come from its structure-keyed plan cache, so rebuilding a preconditioner
-/// for a matrix with unchanged sparsity skips them entirely.
+/// triangular solves, then binds the solve kernels once; `factor()` runs
+/// the parallel numeric factorization (Figure 13's loop parallelized
+/// exactly like the solve) and may be called again whenever A's values
+/// change — the bound kernels see the new values in place. Built on a
+/// `Runtime`, the inspectors come from its structure-keyed plan cache, so
+/// rebuilding a preconditioner for a matrix with unchanged sparsity skips
+/// them entirely.
 class IluPreconditioner : public Preconditioner {
  public:
   /// Symbolic phase + cached inspectors for `a` with fill level `level`.
@@ -41,6 +44,11 @@ class IluPreconditioner : public Preconditioner {
   /// z <- U^{-1} L^{-1} r.
   void apply(ThreadTeam& team, std::span<const real_t> r,
              std::span<real_t> z) override;
+
+  /// Batched apply through the fused kernels: every column of the k-wide
+  /// batch is solved in one sweep, paying the per-wavefront
+  /// synchronization once regardless of k.
+  void apply_batch(ThreadTeam& team, ConstBatchView r, BatchView z) override;
 
   [[nodiscard]] const IluFactorization& factors() const noexcept {
     return ilu_;
@@ -60,7 +68,6 @@ class IluPreconditioner : public Preconditioner {
   std::shared_ptr<const Plan> factor_plan_;
   std::unique_ptr<ParallelTriangularSolver> solver_;
   std::vector<IluFactorization::Workspace> workspaces_;
-  std::vector<real_t> tmp_;
 };
 
 }  // namespace rtl

@@ -20,7 +20,51 @@ void apply_precond(ThreadTeam& team, Preconditioner* m,
   }
 }
 
+/// Shared column loop of the multi-RHS drivers: gather column j of the
+/// row-major batch, run the single-RHS solver, scatter the solution back.
+template <class Solve>
+std::vector<KrylovResult> solve_columns(const CsrMatrix& a,
+                                        ConstBatchView b, BatchView x,
+                                        Solve&& solve_one) {
+  const index_t n = a.rows();
+  assert(b.rows() == n && x.rows() == n);
+  assert(b.width() == x.width());
+  const index_t k = b.width();
+  std::vector<KrylovResult> results;
+  results.reserve(static_cast<std::size_t>(k));
+  std::vector<real_t> bj(static_cast<std::size_t>(n));
+  std::vector<real_t> xj(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < k; ++j) {
+    b.get_column(j, bj);
+    x.get_column(j, xj);
+    results.push_back(solve_one(bj, xj));
+    x.set_column(j, xj);
+  }
+  return results;
+}
+
 }  // namespace
+
+std::vector<KrylovResult> pcg_solve(ThreadTeam& team, const CsrMatrix& a,
+                                    ConstBatchView b, BatchView x,
+                                    Preconditioner* precond,
+                                    const KrylovOptions& options) {
+  return solve_columns(a, b, x,
+                       [&](std::span<const real_t> bj, std::span<real_t> xj) {
+                         return pcg_solve(team, a, bj, xj, precond, options);
+                       });
+}
+
+std::vector<KrylovResult> gmres_solve(ThreadTeam& team, const CsrMatrix& a,
+                                      ConstBatchView b, BatchView x,
+                                      Preconditioner* precond,
+                                      const KrylovOptions& options) {
+  return solve_columns(a, b, x,
+                       [&](std::span<const real_t> bj, std::span<real_t> xj) {
+                         return gmres_solve(team, a, bj, xj, precond,
+                                            options);
+                       });
+}
 
 KrylovResult pcg_solve(ThreadTeam& team, const CsrMatrix& a,
                        std::span<const real_t> b, std::span<real_t> x,

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "core/runtime.hpp"
+#include "kernel/batch.hpp"
 #include "runtime/thread_team.hpp"
 #include "solver/preconditioner.hpp"
 #include "sparse/csr.hpp"
@@ -48,6 +50,23 @@ KrylovResult gmres_solve(ThreadTeam& team, const CsrMatrix& a,
                          std::span<const real_t> b, std::span<real_t> x,
                          Preconditioner* precond,
                          const KrylovOptions& options = {});
+
+/// Multi-RHS drivers: solve A x(:, j) = b(:, j) for every column of a
+/// k-wide row-major batch with one shared preconditioner. Each column
+/// runs its own (independently converging) Krylov iteration — lockstep
+/// iteration across columns would couple their convergence — so the
+/// amortization is in the setup: one inspector pass, one factorization,
+/// one set of bound kernels serves all k solves (§5.1.1 applied to the
+/// whole solver). Returns one KrylovResult per column.
+std::vector<KrylovResult> pcg_solve(ThreadTeam& team, const CsrMatrix& a,
+                                    ConstBatchView b, BatchView x,
+                                    Preconditioner* precond,
+                                    const KrylovOptions& options = {});
+
+std::vector<KrylovResult> gmres_solve(ThreadTeam& team, const CsrMatrix& a,
+                                      ConstBatchView b, BatchView x,
+                                      Preconditioner* precond,
+                                      const KrylovOptions& options = {});
 
 /// Runtime-context overloads: solve on `rt`'s owned team. Pair with
 /// preconditioners built on the same Runtime so their inspector plans come

@@ -1,70 +1,62 @@
 #include "solver/parallel_triangular.hpp"
 
-#include <cassert>
-
 #include "sparse/triangular.hpp"
 
 namespace rtl {
 
 ParallelTriangularSolver::ParallelTriangularSolver(
     Runtime& rt, const IluFactorization& ilu, DoconsiderOptions options)
-    : ilu_(&ilu) {
-  lower_plan_ = rt.plan_for(lower_solve_dependences(ilu.lower()), options);
-  upper_plan_ = rt.plan_for(upper_solve_dependences(ilu.upper()), options);
-}
+    : kernel_(BoundKernel::lower(
+                  rt.plan_for(lower_solve_dependences(ilu.lower()), options),
+                  ilu.lower()),
+              BoundKernel::upper(
+                  rt.plan_for(upper_solve_dependences(ilu.upper()), options),
+                  ilu.upper())) {}
 
 ParallelTriangularSolver::ParallelTriangularSolver(
     ThreadTeam& team, const IluFactorization& ilu, DoconsiderOptions options)
-    : ilu_(&ilu) {
-  lower_plan_ = std::make_shared<const Plan>(
-      team, lower_solve_dependences(ilu.lower()), options);
-  upper_plan_ = std::make_shared<const Plan>(
-      team, upper_solve_dependences(ilu.upper()), options);
-}
+    : kernel_(BoundKernel::lower(
+                  std::make_shared<const Plan>(
+                      team, lower_solve_dependences(ilu.lower()), options),
+                  ilu.lower()),
+              BoundKernel::upper(
+                  std::make_shared<const Plan>(
+                      team, upper_solve_dependences(ilu.upper()), options),
+                  ilu.upper())) {}
 
 void ParallelTriangularSolver::solve_lower(ThreadTeam& team,
                                            std::span<const real_t> rhs,
                                            std::span<real_t> y) {
-  const CsrMatrix& lower = ilu_->lower();
-  assert(static_cast<index_t>(rhs.size()) == lower.rows());
-  assert(static_cast<index_t>(y.size()) == lower.rows());
-  lower_plan_->execute(team, [&](index_t i) {
-    real_t sum = rhs[static_cast<std::size_t>(i)];
-    const auto cs = lower.row_cols(i);
-    const auto vs = lower.row_vals(i);
-    for (std::size_t k = 0; k < cs.size(); ++k) {
-      sum -= vs[k] * y[static_cast<std::size_t>(cs[k])];
-    }
-    y[static_cast<std::size_t>(i)] = sum;
-  });
+  kernel_.lower().solve(team, rhs, y);
 }
 
 void ParallelTriangularSolver::solve_upper(ThreadTeam& team,
                                            std::span<const real_t> rhs,
                                            std::span<real_t> y) {
-  const CsrMatrix& upper = ilu_->upper();
-  const index_t n = upper.rows();
-  assert(static_cast<index_t>(rhs.size()) == n);
-  assert(static_cast<index_t>(y.size()) == n);
-  upper_plan_->execute(team, [&](index_t k) {
-    const index_t row = n - 1 - k;  // iteration k handles row n-1-k
-    real_t sum = rhs[static_cast<std::size_t>(row)];
-    const auto cs = upper.row_cols(row);
-    const auto vs = upper.row_vals(row);
-    // Diagonal is stored first within the row.
-    for (std::size_t t = 1; t < cs.size(); ++t) {
-      sum -= vs[t] * y[static_cast<std::size_t>(cs[t])];
-    }
-    y[static_cast<std::size_t>(row)] = sum / vs[0];
-  });
+  kernel_.upper().solve(team, rhs, y);
 }
 
 void ParallelTriangularSolver::solve(ThreadTeam& team,
                                      std::span<const real_t> rhs,
                                      std::span<real_t> tmp,
                                      std::span<real_t> y) {
-  solve_lower(team, rhs, tmp);
-  solve_upper(team, tmp, y);
+  kernel_.lower().solve(team, rhs, tmp);
+  kernel_.upper().solve(team, tmp, y);
+}
+
+void ParallelTriangularSolver::solve_lower(ThreadTeam& team,
+                                           ConstBatchView rhs, BatchView y) {
+  kernel_.lower().solve(team, rhs, y);
+}
+
+void ParallelTriangularSolver::solve_upper(ThreadTeam& team,
+                                           ConstBatchView rhs, BatchView y) {
+  kernel_.upper().solve(team, rhs, y);
+}
+
+void ParallelTriangularSolver::solve(ThreadTeam& team, ConstBatchView rhs,
+                                     BatchView y) {
+  kernel_.apply(team, rhs, y);
 }
 
 }  // namespace rtl

@@ -1,10 +1,10 @@
 #pragma once
 
-#include <memory>
 #include <span>
 
 #include "core/plan.hpp"
 #include "core/runtime.hpp"
+#include "kernel/bound_kernel.hpp"
 #include "runtime/thread_team.hpp"
 #include "sparse/ilu.hpp"
 
@@ -12,11 +12,13 @@
 /// the paper's flagship application (Figure 8 + Appendix II §2.2.1).
 namespace rtl {
 
-/// Inspector/executor pair for forward + backward substitution with the
-/// factors of an `IluFactorization`. The inspector (wavefronts + schedule,
-/// for both the L graph and the reversed-order U graph) runs once — or,
-/// when built on a `Runtime`, is fetched from its structure-keyed plan
-/// cache — and the resulting immutable plans are reused for every solve.
+/// Bound-kernel pair for forward + backward substitution with the factors
+/// of an `IluFactorization`. The inspector (wavefronts + schedule, for
+/// both the L graph and the reversed-order U graph) runs once — or, when
+/// built on a `Runtime`, is fetched from its structure-keyed plan cache —
+/// and the matrix views are validated and bound into `BoundKernel`s once;
+/// every solve afterwards drives the fused kernel bodies directly, single
+/// right-hand side or batched.
 class ParallelTriangularSolver {
  public:
   /// Plan solves of `ilu.lower()` / `ilu.upper()` using `rt`'s team and
@@ -40,22 +42,28 @@ class ParallelTriangularSolver {
   void solve_upper(ThreadTeam& team, std::span<const real_t> rhs,
                    std::span<real_t> y);
 
-  /// y <- U^{-1} L^{-1} rhs using `tmp` as the intermediate vector.
+  /// y <- U^{-1} L^{-1} rhs (the ILU application).
   void solve(ThreadTeam& team, std::span<const real_t> rhs,
              std::span<real_t> tmp, std::span<real_t> y);
 
-  /// Inspector state, exposed for instrumentation and tests.
+  /// Batched variants: one sweep solves every column of the k-wide batch,
+  /// paying the per-wavefront synchronization once regardless of k.
+  /// Results are bit-for-bit identical to k single-RHS solves.
+  void solve_lower(ThreadTeam& team, ConstBatchView rhs, BatchView y);
+  void solve_upper(ThreadTeam& team, ConstBatchView rhs, BatchView y);
+  void solve(ThreadTeam& team, ConstBatchView rhs, BatchView y);
+
+  /// The bound kernels, exposed for instrumentation, benches and tests.
+  [[nodiscard]] IluApplyKernel& kernel() noexcept { return kernel_; }
   [[nodiscard]] const Plan& lower_plan() const noexcept {
-    return *lower_plan_;
+    return kernel_.lower().plan();
   }
   [[nodiscard]] const Plan& upper_plan() const noexcept {
-    return *upper_plan_;
+    return kernel_.upper().plan();
   }
 
  private:
-  const IluFactorization* ilu_;
-  std::shared_ptr<const Plan> lower_plan_;
-  std::shared_ptr<const Plan> upper_plan_;
+  IluApplyKernel kernel_;
 };
 
 }  // namespace rtl

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
+#include "kernel/batch.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/types.hpp"
 
@@ -24,6 +26,24 @@ class Preconditioner {
   /// required to be reentrant).
   virtual void apply(ThreadTeam& team, std::span<const real_t> r,
                      std::span<real_t> z) = 0;
+
+  /// Batched apply: z(:, j) <- M^{-1} r(:, j) for every column of the
+  /// k-wide row-major batch. Named distinctly from `apply` so a subclass
+  /// overriding only the single-RHS virtual does not name-hide this one.
+  /// The default gathers each column and loops single applies — correct
+  /// for any implementation; `IluPreconditioner` overrides it with the
+  /// fused batched kernels (one synchronization sweep for all k columns).
+  virtual void apply_batch(ThreadTeam& team, ConstBatchView r, BatchView z) {
+    const index_t n = r.rows();
+    const index_t k = r.width();
+    std::vector<real_t> rj(static_cast<std::size_t>(n));
+    std::vector<real_t> zj(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < k; ++j) {
+      r.get_column(j, rj);
+      apply(team, rj, zj);
+      z.set_column(j, zj);
+    }
+  }
 };
 
 }  // namespace rtl

@@ -25,6 +25,22 @@ std::string lower(std::string s) {
   return s;
 }
 
+/// getline that tolerates CRLF files: a trailing '\r' is stripped so the
+/// token parsers below never see it (a bare "\r" line becomes empty).
+bool get_logical_line(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+/// Whitespace-only lines count as blank (files written by hand or by
+/// other tools often end in one or more of them).
+bool is_blank(const std::string& line) {
+  return std::all_of(line.begin(), line.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
 }  // namespace
 
 CsrMatrix read_matrix_market(std::istream& in) {
@@ -32,7 +48,7 @@ CsrMatrix read_matrix_market(std::istream& in) {
   std::size_t lineno = 0;
 
   // Header: %%MatrixMarket matrix coordinate real {general|symmetric}
-  if (!std::getline(in, line)) fail(1, "empty input");
+  if (!get_logical_line(in, line)) fail(1, "empty input");
   ++lineno;
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
@@ -53,12 +69,12 @@ CsrMatrix read_matrix_market(std::istream& in) {
     fail(lineno, "only general/symmetric symmetry is supported");
   }
 
-  // Size line (after comments).
+  // Size line (after comments and blank lines).
   index_t rows = 0, cols = 0;
   long long entries = -1;
-  while (std::getline(in, line)) {
+  while (get_logical_line(in, line)) {
     ++lineno;
-    if (line.empty() || line[0] == '%') continue;
+    if (is_blank(line) || line[0] == '%') continue;
     std::istringstream sizes(line);
     if (!(sizes >> rows >> cols >> entries)) {
       fail(lineno, "malformed size line");
@@ -71,12 +87,12 @@ CsrMatrix read_matrix_market(std::istream& in) {
   CooBuilder coo(rows, cols);
   long long seen = 0;
   while (seen < entries) {
-    if (!std::getline(in, line)) {
+    if (!get_logical_line(in, line)) {
       fail(lineno, "unexpected end of file: " + std::to_string(seen) +
                        " of " + std::to_string(entries) + " entries read");
     }
     ++lineno;
-    if (line.empty() || line[0] == '%') continue;
+    if (is_blank(line) || line[0] == '%') continue;
     std::istringstream entry(line);
     index_t r = 0, c = 0;
     real_t v = 0.0;

@@ -123,6 +123,7 @@ TEST(ReporterTest, PlanStatsAndCacheCountersLandInTheRecords) {
   Runtime::CacheCounters cc;
   cc.hits = 7;
   cc.misses = 2;
+  cc.evictions = 1;
   cc.entries = 2;
   rep.add_plan_cache(cc);
 
@@ -137,10 +138,11 @@ TEST(ReporterTest, PlanStatsAndCacheCountersLandInTheRecords) {
   EXPECT_NE(json.find("\"group\": \"plan_cache\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"hits\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"misses\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"evictions\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"entries\""), std::string::npos);
   // Derived units must stay non-gating: nothing here may carry "ms".
   for (const auto& r : rep.records()) EXPECT_NE(r.unit, "ms");
-  ASSERT_EQ(rep.records().size(), 7u);
+  ASSERT_EQ(rep.records().size(), 8u);
 }
 
 TEST(ReporterTest, SkippedDriverStillProducesADocument) {

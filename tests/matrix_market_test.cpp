@@ -49,6 +49,62 @@ TEST(MatrixMarketTest, CaseInsensitiveHeader) {
   EXPECT_DOUBLE_EQ(read_matrix_market(in).at(0, 0), 7.0);
 }
 
+TEST(MatrixMarketTest, AcceptsCrlfLineEndings) {
+  // A file written on Windows (or fetched in text mode) terminates every
+  // line with \r\n; the reader must parse it identically.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "% a comment\r\n"
+      "3 3 4\r\n"
+      "1 1 2.0\r\n"
+      "2 2 3.5\r\n"
+      "3 1 -1.0\r\n"
+      "3 3 4.0\r\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), -1.0);
+}
+
+TEST(MatrixMarketTest, AcceptsCrlfSymmetricHeader) {
+  // The symmetry keyword is the last header token, so a trailing \r used
+  // to corrupt it specifically.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\r\n"
+      "2 2 2\r\n"
+      "1 1 5.0\r\n"
+      "2 1 1.5\r\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.5);
+}
+
+TEST(MatrixMarketTest, AcceptsTrailingBlankLines) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "\n"
+      "  \t \n"
+      "2 2 2.0\n"
+      "\n"
+      "   \n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 2.0);
+}
+
+TEST(MatrixMarketTest, AcceptsBlankLinesBeforeSizeLine) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "\r\n"
+      "1 1 1\r\n"
+      "1 1 7.0\r\n"
+      "\r\n");
+  EXPECT_DOUBLE_EQ(read_matrix_market(in).at(0, 0), 7.0);
+}
+
 TEST(MatrixMarketTest, RejectsBadBanner) {
   std::istringstream in("%%NotMatrixMarket matrix coordinate real general\n");
   EXPECT_THROW(read_matrix_market(in), std::runtime_error);

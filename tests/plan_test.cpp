@@ -149,6 +149,60 @@ TEST_P(PlanTest, PooledExecuteIsRepeatable) {
   }
 }
 
+TEST_P(PlanTest, BatchedExecuteMatchesKIndependentExecutions) {
+  // Plan::execute_batch runs the loop once with the body sweeping all k
+  // right-hand sides per iteration; results must equal k independent
+  // single executions and the state must report the batch width.
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(350, 76);
+  const index_t n = static_cast<index_t>(loop.ia.size());
+  constexpr index_t kWidth = 3;
+  for (const auto exec :
+       {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting,
+        ExecutionPolicy::kWindowed}) {
+    DoconsiderOptions opts;
+    opts.execution = exec;
+    const Plan plan(team, loop.dependences(), opts);
+    ExecState state(plan);
+
+    // Batch j scales the start vector by (j+1); row-major n x k storage.
+    std::vector<real_t> batch(static_cast<std::size_t>(n * kWidth));
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < kWidth; ++j) {
+        batch[static_cast<std::size_t>(i * kWidth + j)] =
+            loop.x0[static_cast<std::size_t>(i)] *
+            static_cast<real_t>(j + 1);
+      }
+    }
+    plan.execute_batch(team, kWidth, [&](index_t i) {
+      if (i == 0) return;
+      const index_t d = loop.ia[static_cast<std::size_t>(i)];
+      for (index_t j = 0; j < kWidth; ++j) {
+        batch[static_cast<std::size_t>(i * kWidth + j)] +=
+            loop.b[static_cast<std::size_t>(i)] *
+            batch[static_cast<std::size_t>(d * kWidth + j)];
+      }
+    }, state);
+    EXPECT_EQ(state.batch_width(), kWidth);
+
+    for (index_t j = 0; j < kWidth; ++j) {
+      std::vector<real_t> x(static_cast<std::size_t>(n));
+      for (index_t i = 0; i < n; ++i) {
+        x[static_cast<std::size_t>(i)] =
+            loop.x0[static_cast<std::size_t>(i)] *
+            static_cast<real_t>(j + 1);
+      }
+      plan.execute(team, loop.body(x), state);
+      for (index_t i = 0; i < n; ++i) {
+        ASSERT_EQ(batch[static_cast<std::size_t>(i * kWidth + j)],
+                  x[static_cast<std::size_t>(i)])
+            << "exec=" << static_cast<int>(exec) << " col=" << j
+            << " row=" << i;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Teams, PlanTest, ::testing::Values(1, 2, 4));
 
 TEST(PlanConcurrency, TwoTeamsExecuteTheSameSharedPlanSimultaneously) {
@@ -252,6 +306,79 @@ TEST(RuntimeCache, IrrelevantOptionFieldsAreNormalizedInTheKey) {
   const auto pd1 = rt.plan_for(DependenceGraph(g), da1);
   const auto pd2 = rt.plan_for(DependenceGraph(g), da2);
   EXPECT_EQ(pd1.get(), pd2.get());
+}
+
+TEST(RuntimeCache, LruEvictionBoundsTheCache) {
+  // Capacity 2: touching a third structure evicts the least-recently-used
+  // entry; a hit refreshes recency.
+  Runtime rt(2, 2);
+  EXPECT_EQ(rt.plan_cache_capacity(), 2u);
+  const auto g1 = SimpleLoop::make(120, 90).dependences();
+  const auto g2 = SimpleLoop::make(120, 91).dependences();
+  const auto g3 = SimpleLoop::make(120, 92).dependences();
+
+  const auto p1 = rt.plan_for(DependenceGraph(g1));
+  (void)rt.plan_for(DependenceGraph(g2));
+  // Refresh g1 so g2 is now least-recently-used.
+  (void)rt.plan_for(DependenceGraph(g1));
+  (void)rt.plan_for(DependenceGraph(g3));  // evicts g2
+
+  auto cc = rt.plan_cache_counters();
+  EXPECT_EQ(cc.entries, 2u);
+  EXPECT_EQ(cc.evictions, 1u);
+  EXPECT_EQ(cc.hits, 1u);
+  EXPECT_EQ(cc.misses, 3u);
+
+  // g1 survived (hit), g2 was evicted (miss + another eviction).
+  const auto p1_again = rt.plan_for(DependenceGraph(g1));
+  EXPECT_EQ(p1.get(), p1_again.get());
+  (void)rt.plan_for(DependenceGraph(g2));
+  cc = rt.plan_cache_counters();
+  EXPECT_EQ(cc.hits, 2u);
+  EXPECT_EQ(cc.misses, 4u);
+  EXPECT_EQ(cc.evictions, 2u);
+  EXPECT_EQ(cc.entries, 2u);
+}
+
+TEST(RuntimeCache, EvictedPlanStaysAliveForHolders) {
+  Runtime rt(2, 1);
+  auto loop1 = SimpleLoop::make(150, 93);
+  const auto plan = rt.plan_for(loop1.dependences());
+  (void)rt.plan_for(SimpleLoop::make(150, 94).dependences());  // evicts
+  EXPECT_EQ(rt.plan_cache_counters().evictions, 1u);
+  // The caller's shared_ptr keeps the evicted plan executable.
+  std::vector<real_t> x = loop1.x0;
+  plan->execute(rt.team(), loop1.body(x));
+  EXPECT_EQ(x, loop1.sequential_result());
+}
+
+TEST(RuntimeCache, ZeroCapacityDisablesCaching) {
+  Runtime rt(2, 0);
+  const auto g = SimpleLoop::make(100, 95).dependences();
+  const auto a = rt.plan_for(DependenceGraph(g));
+  const auto b = rt.plan_for(DependenceGraph(g));
+  EXPECT_NE(a.get(), b.get());
+  const auto cc = rt.plan_cache_counters();
+  EXPECT_EQ(cc.hits, 0u);
+  EXPECT_EQ(cc.misses, 2u);
+  EXPECT_EQ(cc.entries, 0u);
+}
+
+TEST(RuntimeCache, CapacityDefaultsAndEnvOverride) {
+  // Without the env var the default is 64; RTL_PLAN_CACHE_CAP overrides
+  // it for Runtimes constructed afterwards; garbage is ignored.
+  unsetenv("RTL_PLAN_CACHE_CAP");
+  EXPECT_EQ(Runtime::default_plan_cache_capacity(), 64u);
+  setenv("RTL_PLAN_CACHE_CAP", "3", 1);
+  EXPECT_EQ(Runtime::default_plan_cache_capacity(), 3u);
+  Runtime rt(1);
+  EXPECT_EQ(rt.plan_cache_capacity(), 3u);
+  setenv("RTL_PLAN_CACHE_CAP", "not-a-number", 1);
+  EXPECT_EQ(Runtime::default_plan_cache_capacity(), 64u);
+  // Overflow must not silently become an effectively unbounded cache.
+  setenv("RTL_PLAN_CACHE_CAP", "99999999999999999999999", 1);
+  EXPECT_EQ(Runtime::default_plan_cache_capacity(), 64u);
+  unsetenv("RTL_PLAN_CACHE_CAP");
 }
 
 TEST(RuntimeCache, ClearDropsEntriesButKeepsHandlesValid) {

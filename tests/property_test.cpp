@@ -12,6 +12,9 @@
 #include "core/analysis.hpp"
 #include "core/plan.hpp"
 #include "graph/wavefront.hpp"
+#include "kernel/batch.hpp"
+#include "kernel/bound_kernel.hpp"
+#include "sparse/csr.hpp"
 #include "workload/synthetic.hpp"
 
 namespace rtl {
@@ -280,6 +283,77 @@ TEST_P(DagPropertyTest, RecurrenceResultIndependentOfPolicy) {
           },
           opts);
       ASSERT_EQ(x, ref);
+    }
+  }
+}
+
+/// Strictly-lower-triangular matrix whose structure realizes the DAG:
+/// row i stores an entry (i, d) for every dependence d, with
+/// deterministic pseudo-random values. `lower_solve_dependences` of this
+/// matrix is exactly the DAG, so a plan built from the DAG binds to it.
+CsrMatrix lower_matrix_from_dag(const DependenceGraph& g,
+                                std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<real_t> dist(-1.0, 1.0);
+  std::vector<index_t> ptr{0};
+  std::vector<index_t> col;
+  std::vector<real_t> val;
+  for (index_t i = 0; i < g.size(); ++i) {
+    for (const index_t d : g.deps(i)) {  // already sorted ascending
+      col.push_back(d);
+      val.push_back(dist(rng));
+    }
+    ptr.push_back(static_cast<index_t>(col.size()));
+  }
+  return {g.size(), g.size(), std::move(ptr), std::move(col),
+          std::move(val)};
+}
+
+TEST_P(DagPropertyTest, BatchedKernelSolveIsBitForBitKSingleSolves) {
+  // The acceptance property of the kernel layer: a batched solve with k
+  // right-hand sides equals k sequential single-RHS solves bit-for-bit,
+  // for every scheduling policy and processor count 1..8.
+  const auto param = GetParam();
+  const auto g = random_dag(param.n, param.max_deg, param.seed);
+  const CsrMatrix lower = lower_matrix_from_dag(g, param.seed ^ 0xbeef);
+  const index_t n = g.size();
+  const index_t k = 4;
+
+  BatchBuffer rhs(n, k);
+  std::mt19937_64 rng(param.seed ^ 0xfeed);
+  std::uniform_real_distribution<real_t> dist(-10.0, 10.0);
+  for (index_t j = 0; j < k; ++j) {
+    std::vector<real_t> colv(static_cast<std::size_t>(n));
+    for (auto& v : colv) v = dist(rng);
+    rhs.set_column(j, colv);
+  }
+
+  for (int nproc = 1; nproc <= 8; ++nproc) {
+    ThreadTeam team(nproc);
+    for (const auto sched :
+         {SchedulingPolicy::kGlobal, SchedulingPolicy::kLocalWrapped,
+          SchedulingPolicy::kLocalBlock}) {
+      DoconsiderOptions opts;
+      opts.scheduling = sched;
+      opts.execution = ExecutionPolicy::kSelfExecuting;
+      auto plan = std::make_shared<const Plan>(team, DependenceGraph(g),
+                                               opts);
+      auto kernel = BoundKernel::lower(std::move(plan), lower);
+
+      BatchBuffer got(n, k);
+      kernel.solve(team, rhs.view(), got.view());
+
+      std::vector<real_t> colr(static_cast<std::size_t>(n));
+      std::vector<real_t> colx(static_cast<std::size_t>(n));
+      for (index_t j = 0; j < k; ++j) {
+        rhs.get_column(j, colr);
+        kernel.solve(team, colr, colx);
+        for (index_t i = 0; i < n; ++i) {
+          ASSERT_EQ(got.view().at(i, j), colx[static_cast<std::size_t>(i)])
+              << "sched=" << static_cast<int>(sched) << " nproc=" << nproc
+              << " col=" << j << " row=" << i;
+        }
+      }
     }
   }
 }

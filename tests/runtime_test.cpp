@@ -99,6 +99,33 @@ TEST(ThreadTeam, ParallelBlocksSumsCorrectly) {
   EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2);
 }
 
+TEST(ThreadTeam, OversubscribedTeamWarnsOnceAndStillFunctions) {
+  // A team larger than the physical core count must keep working (the
+  // ROADMAP scaling-ceiling caveat) and must log the one-time warning so
+  // a service operator can see why parallel timings degraded.
+  const unsigned hw = std::thread::hardware_concurrency();
+  ASSERT_GT(hw, 0u);
+  const int oversubscribed = static_cast<int>(hw) + 4;
+  ThreadTeam team(oversubscribed);
+  EXPECT_TRUE(ThreadTeam::oversubscription_warned());
+
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(oversubscribed));
+  for (auto& h : hits) h.store(0);
+  for (int rep = 0; rep < 3; ++rep) {
+    team.run([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 3);
+
+  // Barrier-synchronized phases still work when threads outnumber cores.
+  std::atomic<int> phase_sum{0};
+  team.run([&](int) {
+    BarrierToken bar(team.barrier());
+    phase_sum.fetch_add(1);
+    bar.wait();
+    EXPECT_EQ(phase_sum.load(), oversubscribed);
+  });
+}
+
 TEST(ThreadTeam, PropagatesExceptionFromWorker) {
   ThreadTeam team(4);
   EXPECT_THROW(team.run([&](int tid) {
