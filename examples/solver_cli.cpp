@@ -38,8 +38,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--matrix FILE.mtx | --problem NAME] [--procs P]\n"
-      "          [--exec self|pre|doacross|selfsched|windowed]\n"
-      "          [--window W] [--sched global|local]\n"
+      "          [--exec self|pre|doacross|selfsched|windowed|pipelined]\n"
+      "          [--window W] [--panel W] [--sched global|local]\n"
       "          [--level K] [--rtol R] [--maxit N] [--rhs K]\n"
       "NAME: spe1..spe5, 5pt, 9pt, 7pt, l5pt, l9pt, l7pt\n",
       argv0);
@@ -110,12 +110,17 @@ int main(int argc, char** argv) {
         opts.execution = ExecutionPolicy::kSelfScheduled;
       } else if (v == "windowed") {
         opts.execution = ExecutionPolicy::kWindowed;
+      } else if (v == "pipelined") {
+        opts.execution = ExecutionPolicy::kPipelined;
       } else {
         return usage(argv[0]);
       }
     } else if (arg == "--window") {
       opts.window = std::atoi(next());
       if (opts.window < 1) return usage(argv[0]);
+    } else if (arg == "--panel") {
+      opts.panel = std::atoi(next());
+      if (opts.panel < 1) return usage(argv[0]);
     } else if (arg == "--sched") {
       const std::string v = next();
       if (v == "global") {

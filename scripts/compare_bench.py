@@ -24,8 +24,13 @@ time unit): NEW regresses when
     new.mean > base.mean * (1 + threshold)
 AND new.mean - base.mean > min_abs_ms (after unit conversion to ms)
 AND new.mean - base.mean > sigma * base.stddev.
-Records with other units (counts, efficiencies, derived estimates) are
-reported informationally but never gate.
+
+Records with unit "count" are deterministic synchronization-event
+counters (flag publishes, barrier waits): they gate by EXACT match —
+any change, in either direction, is a gate problem, because a counter
+drift means the scheduler changed behavior, not that the host was
+noisy. Records with other units (events, efficiencies, derived
+estimates) are reported informationally but never gate.
 """
 
 from __future__ import annotations
@@ -36,8 +41,11 @@ import sys
 
 SCHEMA_VERSION = 1
 
-# Unit -> multiplier into milliseconds. Only these units gate.
+# Unit -> multiplier into milliseconds. These units gate by threshold.
 TIME_UNITS_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+# Unit of deterministic event counters: gates by exact match.
+COUNT_UNIT = "count"
 
 
 def load_doc(path):
@@ -160,12 +168,14 @@ def compare(base_doc, new_doc, threshold, min_abs_ms, sigma, out=sys.stdout):
     for drv in sorted(set(base_drivers) - set(new_drivers)):
         problems.append(f"driver {drv}: present in base, missing from new")
 
-    # Every timed record that disappeared from a driver that still ran.
+    # Every gated record (timed or counter) that disappeared from a driver
+    # that still ran.
     for key in sorted(set(base) - set(new)):
         drv, group, metric = key
         if new_drivers.get(drv, True):
             continue  # whole driver skipped/missing: already flagged above
-        if base[key].get("unit") in TIME_UNITS_MS:
+        unit = base[key].get("unit")
+        if unit in TIME_UNITS_MS or unit == COUNT_UNIT:
             problems.append(
                 f"gated record {drv} {group}/{metric} vanished from new "
                 "(renamed or no longer measured?)"
@@ -184,6 +194,16 @@ def compare(base_doc, new_doc, threshold, min_abs_ms, sigma, out=sys.stdout):
         scale = TIME_UNITS_MS.get(unit)
         bm, nm = b.get("mean"), n.get("mean")
         if bm is None or nm is None:
+            continue
+        if unit == COUNT_UNIT:
+            # Deterministic counters: any drift means the scheduler's
+            # synchronization behavior changed — exact match or fail.
+            if bm != nm:
+                drv, group, metric = key
+                problems.append(
+                    f"COUNTER MISMATCH {drv} {group}/{metric}: "
+                    f"{bm:g} -> {nm:g} (unit 'count' gates by exact match)"
+                )
             continue
         if scale is None:
             continue  # non-time record: informational only
@@ -266,6 +286,8 @@ def self_check():
                     _mkrec("P1", "sequential_ms", 5.0, stddev=0.1),
                     _mkrec("P1", "efficiency", 0.9, unit="eff"),
                     _mkrec("P1", "tiny_ms", 0.001),
+                    _mkrec("P1", "barrier_waits", 128.0, unit="count"),
+                    _mkrec("P1", "steals", 17.0, unit="events"),
                 ],
             ),
             make_skipped_doc("bench_absent", "binary not built"),
@@ -356,7 +378,31 @@ def self_check():
     assert not r, "unit change must not be reported as a regression"
     assert any("unit changed" in n for n in probs), "unit change missed"
 
-    print("self-check OK (11 checks)")
+    # 12. Unit-"count" records gate by exact match: any drift (even one
+    # below the relative threshold, in either direction) is a problem, and
+    # a vanished counter fails like a vanished timing.
+    drift = copy.deepcopy(base)
+    drift["runs"][0]["records"][4]["mean"] = 127.0
+    r, _, _, probs = compare(base, drift, 0.10, 0.05, 0.0, out=io.StringIO())
+    assert not r, "counter drift must not be reported as a timing regression"
+    assert any("COUNTER MISMATCH" in n for n in probs), "counter drift missed"
+    gone = copy.deepcopy(base)
+    gone["runs"][0]["records"] = [
+        r
+        for r in gone["runs"][0]["records"]
+        if r["metric"] != "barrier_waits"
+    ]
+    _, _, _, probs = compare(base, gone, 0.10, 0.05, 0.0, out=io.StringIO())
+    assert any("vanished" in n for n in probs), "vanished counter missed"
+
+    # 13. Unit-"events" records (interleaving-dependent steal counts)
+    # never gate, no matter how much they move.
+    ev = copy.deepcopy(base)
+    ev["runs"][0]["records"][5]["mean"] = 9000.0
+    r, _, _, probs = compare(base, ev, 0.10, 0.05, 0.0, out=io.StringIO())
+    assert not r and not probs, "events records must stay informational"
+
+    print("self-check OK (13 checks)")
     return 0
 
 

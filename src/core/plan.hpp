@@ -17,6 +17,7 @@
 #include "graph/wavefront.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/ready_flags.hpp"
+#include "runtime/spin_wait.hpp"
 #include "runtime/thread_team.hpp"
 
 /// Plan/Runtime API v2 — the inspector artifact and its execution engine.
@@ -61,10 +62,12 @@ struct PlanStats {
   std::size_t bytes = 0;
 };
 
-/// Per-execution mutable state: the shared ready array and the
-/// self-scheduling cursor. One ExecState serves one execution at a time;
-/// distinct concurrent executions of the same `Plan` need distinct states
-/// (pass none to `Plan::execute` and one is pooled automatically).
+/// Per-execution mutable state: the shared ready array, the
+/// self-scheduling cursor, and — for the pipelined executor — the
+/// per-(row, panel) pending-dependence counters. One ExecState serves one
+/// execution at a time; distinct concurrent executions of the same `Plan`
+/// need distinct states (pass none to `Plan::execute` and one is pooled
+/// automatically).
 class ExecState {
  public:
   /// State sized for `plan` (ready flags only when its policy uses them).
@@ -84,20 +87,41 @@ class ExecState {
   /// right-hand sides are visible — batched bodies complete the full
   /// k-sweep of an iteration before the executor publishes its flag, so
   /// one flag per iteration (and one barrier per phase) suffices for any
-  /// k. Called by `Plan::execute_batch`; plain `execute` leaves the width
-  /// at its previous value, which is harmless (the width only documents
-  /// what a set flag covers).
+  /// k. Called by `Plan::execute_batch` with the batch width and by plain
+  /// `Plan::execute` with 1 — the width is an execution property, never a
+  /// sticky leftover, because the pipelined executor derives its panel
+  /// decomposition (and its flag-array sizing) from it.
   void prepare_batch(index_t width) noexcept {
     assert(width >= 1);
     batch_width_ = width;
   }
-  /// Batch width of the last `prepare_batch` (1 until a batched run).
+  /// Batch width declared for the current/last execution (1 by default).
   [[nodiscard]] index_t batch_width() const noexcept { return batch_width_; }
+
+  /// Pending-dependence counters for `total` (row, panel) tasks of the
+  /// pipelined executor, (re)allocated on demand. Called at the start of
+  /// every pipelined execution: the task count depends on the execution's
+  /// batch width, so a pooled state alternating between widths (k=1 solve
+  /// then k=16 batch on the same plan) must re-validate the sizing each
+  /// time rather than trust whatever a previous execution left behind.
+  [[nodiscard]] std::atomic<index_t>* pending(std::size_t total) {
+    if (pending_.size() < total) {
+      pending_ = std::vector<std::atomic<index_t>>(total);
+    }
+    return pending_.data();
+  }
+
+  /// Unfinished-task countdown of the pipelined executor's current run.
+  [[nodiscard]] std::atomic<std::int64_t>& remaining() noexcept {
+    return remaining_;
+  }
 
  private:
   ReadyFlags ready_;
   index_t batch_width_ = 1;
+  std::vector<std::atomic<index_t>> pending_;
   alignas(cache_line_size) std::atomic<index_t> cursor_{0};
+  alignas(cache_line_size) std::atomic<std::int64_t> remaining_{0};
 };
 
 /// Immutable, shareable inspector artifact: dependence graph + wavefronts
@@ -122,33 +146,12 @@ class Plan {
   /// have the processor count the plan was compiled for.
   template <class Body>
   void execute(ThreadTeam& team, Body&& body, ExecState& state) const {
-    assert(team.size() == nproc_ &&
-           "plan compiled for a different team size");
-    switch (options_.execution) {
-      case ExecutionPolicy::kPreScheduled:
-        if (options_.instrumented) {
-          run_rotating_prescheduled(team, body);
-        } else {
-          run_prescheduled(team, body);
-        }
-        break;
-      case ExecutionPolicy::kSelfExecuting:
-        if (options_.instrumented) {
-          run_rotating_self(team, state.ready(), body);
-        } else {
-          run_self(team, state.ready(), body);
-        }
-        break;
-      case ExecutionPolicy::kDoAcross:
-        run_doacross(team, state.ready(), body);
-        break;
-      case ExecutionPolicy::kSelfScheduled:
-        run_self_scheduled(team, state.ready(), state.cursor(), body);
-        break;
-      case ExecutionPolicy::kWindowed:
-        run_windowed(team, state.ready(), body);
-        break;
-    }
+    // Plain execute is always a width-1 execution: the pipelined executor
+    // derives its panel decomposition (and pending-array sizing) from the
+    // state's batch width, so a stale width left by an earlier
+    // execute_batch on a pooled state must not leak into this run.
+    state.prepare_batch(1);
+    dispatch(team, body, state);
   }
 
   /// Execute with a pooled ExecState: acquires a state from the plan's
@@ -174,7 +177,7 @@ class Plan {
                      ExecState& state) const {
     assert(batch >= 1);
     state.prepare_batch(batch);
-    execute(team, std::forward<Body>(body), state);
+    dispatch(team, body, state);
   }
 
   /// Batched execution with a pooled ExecState.
@@ -205,8 +208,11 @@ class Plan {
     return fingerprint_;
   }
   /// Whether executions under this plan's policy use the ready array.
+  /// (kPipelined tracks readiness in per-task pending counters instead,
+  /// which ExecState allocates lazily per execution width.)
   [[nodiscard]] bool needs_ready_flags() const noexcept {
-    return options_.execution != ExecutionPolicy::kPreScheduled;
+    return options_.execution != ExecutionPolicy::kPreScheduled &&
+           options_.execution != ExecutionPolicy::kPipelined;
   }
 
   /// Bytes of the immutable artifact the executor walks: the dependence
@@ -214,11 +220,17 @@ class Plan {
   /// (Excludes per-execution ExecState pools — those are transient.)
   [[nodiscard]] std::size_t memory_footprint() const noexcept {
     constexpr std::size_t idx = sizeof(index_t);
-    return (graph_.ptr().size() + graph_.adj().size() +
-            wavefronts_.wave.size() + wavefronts_.order.size() +
-            wavefronts_.wave_ptr.size() + schedule_.order.size() +
-            schedule_.proc_ptr.size() + schedule_.phase_ptr.size()) *
-           idx;
+    std::size_t entries = graph_.ptr().size() + graph_.adj().size() +
+                          wavefronts_.wave.size() + wavefronts_.order.size() +
+                          wavefronts_.wave_ptr.size() +
+                          schedule_.order.size() + schedule_.proc_ptr.size() +
+                          schedule_.phase_ptr.size();
+    if (options_.execution == ExecutionPolicy::kPipelined) {
+      // The successor CSR the pipelined executor walks to publish
+      // readiness forward.
+      entries += successors_.ptr().size() + successors_.adj().size();
+    }
+    return entries * idx;
   }
 
   /// Shape-and-size summary (surfaced by inspect_cli and the bench JSON).
@@ -266,6 +278,50 @@ class Plan {
                                    block_partition(graph_.size(), nproc_));
         break;
     }
+    // The pipelined executor publishes readiness forward (producer ->
+    // consumers), so it needs the successor lists the predecessor CSR
+    // cannot give it in O(deg). Built once at inspector time, like every
+    // other artifact component.
+    if (options_.execution == ExecutionPolicy::kPipelined) {
+      successors_ = graph_.reversed();
+    }
+  }
+
+  /// Policy dispatch shared by `execute` (width forced to 1) and
+  /// `execute_batch` (width set by the caller). Private so every entry
+  /// point declares the batch width explicitly before reaching it.
+  template <class Body>
+  void dispatch(ThreadTeam& team, Body& body, ExecState& state) const {
+    assert(team.size() == nproc_ &&
+           "plan compiled for a different team size");
+    switch (options_.execution) {
+      case ExecutionPolicy::kPreScheduled:
+        if (options_.instrumented) {
+          run_rotating_prescheduled(team, body);
+        } else {
+          run_prescheduled(team, body);
+        }
+        break;
+      case ExecutionPolicy::kSelfExecuting:
+        if (options_.instrumented) {
+          run_rotating_self(team, state.ready(), body);
+        } else {
+          run_self(team, state.ready(), body);
+        }
+        break;
+      case ExecutionPolicy::kDoAcross:
+        run_doacross(team, state.ready(), body);
+        break;
+      case ExecutionPolicy::kSelfScheduled:
+        run_self_scheduled(team, state.ready(), state.cursor(), body);
+        break;
+      case ExecutionPolicy::kWindowed:
+        run_windowed(team, state.ready(), body);
+        break;
+      case ExecutionPolicy::kPipelined:
+        run_pipelined(team, state, body);
+        break;
+    }
   }
 
   // -------------------------------------------------------------------
@@ -284,6 +340,7 @@ class Plan {
   void run_prescheduled(ThreadTeam& team, Body& body) const {
     team.run([&](int tid) {
       BarrierToken bar(team.barrier());
+      std::uint64_t waits = 0;
       const index_t* ord = schedule_.order.data();
       const auto row = schedule_.phase_row(tid);
       for (index_t w = 0; w < schedule_.num_phases; ++w) {
@@ -292,7 +349,9 @@ class Plan {
           detail::invoke_body(body, tid, ord[static_cast<std::size_t>(k)]);
         }
         bar.wait();
+        ++waits;
       }
+      team.add_exec_counters(0, 0, waits);
     });
   }
 
@@ -303,11 +362,14 @@ class Plan {
   void run_self(ThreadTeam& team, ReadyFlags& ready, Body& body) const {
     ready.reset();
     team.run([&](int tid) {
+      std::uint64_t pubs = 0;
       for (const index_t i : schedule_.proc(tid)) {
         for (const index_t d : graph_.deps(i)) ready.wait(d);
         detail::invoke_body(body, tid, i);
         ready.set(i);
+        ++pubs;
       }
+      team.add_exec_counters(pubs, 0, 0);
     });
   }
 
@@ -322,11 +384,14 @@ class Plan {
     const index_t n = graph_.size();
     const int p = team.size();
     team.run([&](int tid) {
+      std::uint64_t pubs = 0;
       for (index_t i = tid; i < n; i += p) {
         for (const index_t d : graph_.deps(i)) ready.wait(d);
         detail::invoke_body(body, tid, i);
         ready.set(i);
+        ++pubs;
       }
+      team.add_exec_counters(pubs, 0, 0);
     });
   }
 
@@ -386,6 +451,7 @@ class Plan {
     const index_t* ord = wavefronts_.order.data();
     const index_t n = static_cast<index_t>(wavefronts_.order.size());
     team.run([&](int tid) {
+      std::uint64_t pubs = 0;
       for (;;) {
         const index_t k = cursor.fetch_add(1, std::memory_order_relaxed);
         if (k >= n) break;
@@ -393,7 +459,9 @@ class Plan {
         for (const index_t d : graph_.deps(i)) ready.wait(d);
         detail::invoke_body(body, tid, i);
         ready.set(i);
+        ++pubs;
       }
+      team.add_exec_counters(pubs, 0, 0);
     });
   }
 
@@ -413,6 +481,8 @@ class Plan {
     ready.reset();
     team.run([&](int tid) {
       BarrierToken bar(team.barrier());
+      std::uint64_t pubs = 0;
+      std::uint64_t waits = 0;
       const index_t* ord = schedule_.order.data();
       const auto row = schedule_.phase_row(tid);
       for (index_t w0 = 0; w0 < schedule_.num_phases; w0 += window) {
@@ -423,9 +493,113 @@ class Plan {
           for (const index_t d : graph_.deps(i)) ready.wait(d);
           detail::invoke_body(body, tid, i);
           ready.set(i);
+          ++pubs;
         }
         bar.wait();
+        ++waits;
       }
+      team.add_exec_counters(pubs, 0, waits);
+    });
+  }
+
+  /// Pipelined batched executor (tentpole of the barrier-free direction):
+  /// work is decomposed into (row, RHS-panel) tasks; a task is ready when
+  /// its per-task pending-dependence counter — initialized to the row's
+  /// in-degree — reaches zero. The thread that performs the last decrement
+  /// pushes the task onto its own work-stealing deque; idle members steal
+  /// from peers. There is no per-phase barrier at all: panel p of row i can
+  /// run while panel p' of the same row is still wavefronts behind, so
+  /// different right-hand sides occupy different wavefronts simultaneously.
+  /// The single `bar.wait()` below is the region-entry rendezvous that
+  /// separates counter initialization from execution (counted nowhere: it
+  /// is not a phase barrier).
+  ///
+  /// Tasks hold only *ready* work — nothing in a deque ever waits on a
+  /// flag — so the scheme cannot deadlock regardless of which thread claims
+  /// which task. Termination is a shared countdown of unfinished tasks.
+  ///
+  /// Memory-ordering chain (data written by a producer row is visible to
+  /// every consumer): body writes -> pending fetch_sub(acq_rel) [the last
+  /// decrementer's acquire folds earlier decrementers' writes into its
+  /// history via the release sequence] -> deque push (release on bottom_)
+  /// -> steal/pop (seq_cst loads) -> consumer body reads.
+  template <class Body>
+  void run_pipelined(ThreadTeam& team, ExecState& state, Body& body) const {
+    const index_t n = graph_.size();
+    const index_t k = state.batch_width();
+    // Only panel-aware bodies can run a sub-range of RHS columns; anything
+    // else executes as one full-width panel.
+    index_t panel_w = k;
+    if constexpr (detail::is_panel_body_v<Body>) {
+      panel_w = std::min(std::max<index_t>(options_.panel, 1), k);
+    }
+    const std::uint64_t num_panels =
+        static_cast<std::uint64_t>((k + panel_w - 1) / panel_w);
+    const std::int64_t total =
+        static_cast<std::int64_t>(n) * static_cast<std::int64_t>(num_panels);
+    if (total == 0) return;
+    std::atomic<index_t>* const pending =
+        state.pending(static_cast<std::size_t>(total));
+    std::atomic<std::int64_t>& remaining = state.remaining();
+    remaining.store(total, std::memory_order_relaxed);
+    const int p = team.size();
+    team.run([&](int tid) {
+      WorkStealingDeque& mine = team.deque(tid);
+      // Before the rendezvous: deque is quiescent (no region is running),
+      // so reset is safe; then initialize pending counters for a striped
+      // slice of rows.
+      mine.reset();
+      for (index_t i = tid; i < n; i += p) {
+        const auto deg = static_cast<index_t>(graph_.deps(i).size());
+        for (std::uint64_t pnl = 0; pnl < num_panels; ++pnl) {
+          pending[static_cast<std::uint64_t>(i) * num_panels + pnl].store(
+              deg, std::memory_order_relaxed);
+        }
+      }
+      BarrierToken bar(team.barrier());
+      bar.wait();
+      // Seed: every dependence-free row of this member's schedule slice
+      // enters the deque once per panel. Peers may already be stealing —
+      // push/steal concurrency is exactly what the deque supports.
+      for (const index_t i : schedule_.proc(tid)) {
+        if (graph_.deps(i).empty()) {
+          for (std::uint64_t pnl = 0; pnl < num_panels; ++pnl) {
+            mine.push(static_cast<std::uint64_t>(i) * num_panels + pnl);
+          }
+        }
+      }
+      std::uint64_t pubs = 0;
+      std::uint64_t steals = 0;
+      SpinWait backoff;
+      std::uint64_t task = 0;
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        bool got = mine.pop(task);
+        if (!got) {
+          for (int shift = 1; shift < p && !got; ++shift) {
+            got = team.deque((tid + shift) % p).steal(task);
+          }
+          if (got) ++steals;
+        }
+        if (!got) {
+          backoff.wait_once();
+          continue;
+        }
+        backoff.reset();
+        const auto i = static_cast<index_t>(task / num_panels);
+        const std::uint64_t pnl = task % num_panels;
+        const index_t j0 = static_cast<index_t>(pnl) * panel_w;
+        const index_t j1 = std::min(k, j0 + panel_w);
+        detail::invoke_panel_body(body, tid, i, j0, j1);
+        ++pubs;
+        for (const index_t s : successors_.deps(i)) {
+          if (pending[static_cast<std::uint64_t>(s) * num_panels + pnl]
+                  .fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            mine.push(static_cast<std::uint64_t>(s) * num_panels + pnl);
+          }
+        }
+        remaining.fetch_sub(1, std::memory_order_release);
+      }
+      team.add_exec_counters(pubs, steals, 0);
     });
   }
 
@@ -461,6 +635,9 @@ class Plan {
   std::uint64_t fingerprint_;
   WavefrontInfo wavefronts_;
   Schedule schedule_;
+  // Successor lists (graph_ reversed); built only for kPipelined, empty
+  // otherwise.
+  DependenceGraph successors_;
 
   mutable std::mutex pool_mutex_;
   mutable std::vector<std::unique_ptr<ExecState>> pool_;

@@ -33,6 +33,7 @@ std::size_t Runtime::PlanKeyHash::operator()(
   mix(static_cast<std::uint64_t>(k.scheduling));
   mix(static_cast<std::uint64_t>(k.execution));
   mix(static_cast<std::uint64_t>(k.window));
+  mix(static_cast<std::uint64_t>(k.panel));
   mix(static_cast<std::uint64_t>(k.instrumented));
   return static_cast<std::size_t>(h);
 }
@@ -44,7 +45,7 @@ std::shared_ptr<const Plan> Runtime::plan_for(DependenceGraph graph,
   const PlanKey key{fingerprint,          graph.size(),
                     graph.num_edges(),    normalized.scheduling,
                     normalized.execution, normalized.window,
-                    normalized.instrumented};
+                    normalized.panel,     normalized.instrumented};
   // `parallel_inspector` is deliberately absent from the key: it changes
   // how fast the artifact is built, never what is built.
   const std::lock_guard<std::mutex> lock(mutex_);

@@ -93,6 +93,7 @@ class Runtime {
     SchedulingPolicy scheduling;
     ExecutionPolicy execution;
     index_t window;
+    index_t panel;
     bool instrumented;
 
     bool operator==(const PlanKey&) const = default;

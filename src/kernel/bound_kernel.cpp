@@ -67,7 +67,10 @@ struct UpperSolveBody {
 
 /// Batched forward substitution: the k-sweep is the unit-stride inner
 /// loop over the row's contiguous strip; the matrix row is read once for
-/// all k right-hand sides.
+/// all k right-hand sides. Panel-aware: the pipelined executor may hand
+/// the body any sub-range [j0, j1) of the RHS columns, and because each
+/// lane's operation sequence is independent of the other lanes, a
+/// panel-sliced solve stays bit-for-bit identical to the full sweep.
 struct LowerSolveBatchBody {
   const index_t* row_ptr;
   const index_t* col;
@@ -76,19 +79,23 @@ struct LowerSolveBatchBody {
   real_t* x;
   index_t k;
 
-  void operator()(index_t i) const {
+  void operator()(index_t i, index_t j0, index_t j1) const {
     const std::size_t b = static_cast<std::size_t>(row_ptr[i]);
     const std::size_t e = static_cast<std::size_t>(row_ptr[i + 1]);
     const std::size_t w = static_cast<std::size_t>(k);
+    const std::size_t c0 = static_cast<std::size_t>(j0);
+    const std::size_t c1 = static_cast<std::size_t>(j1);
     real_t* xi = x + static_cast<std::size_t>(i) * w;
     const real_t* ri = rhs + static_cast<std::size_t>(i) * w;
-    for (std::size_t j = 0; j < w; ++j) xi[j] = ri[j];
+    for (std::size_t j = c0; j < c1; ++j) xi[j] = ri[j];
     for (std::size_t t = b; t < e; ++t) {
       const real_t v = val[t];
       const real_t* xd = x + static_cast<std::size_t>(col[t]) * w;
-      for (std::size_t j = 0; j < w; ++j) xi[j] -= v * xd[j];
+      for (std::size_t j = c0; j < c1; ++j) xi[j] -= v * xd[j];
     }
   }
+
+  void operator()(index_t i) const { (*this)(i, 0, k); }
 };
 
 struct UpperSolveBatchBody {
@@ -100,22 +107,26 @@ struct UpperSolveBatchBody {
   index_t n;
   index_t k;
 
-  void operator()(index_t it) const {
+  void operator()(index_t it, index_t j0, index_t j1) const {
     const index_t i = n - 1 - it;
     const std::size_t b = static_cast<std::size_t>(row_ptr[i]);
     const std::size_t e = static_cast<std::size_t>(row_ptr[i + 1]);
     const std::size_t w = static_cast<std::size_t>(k);
+    const std::size_t c0 = static_cast<std::size_t>(j0);
+    const std::size_t c1 = static_cast<std::size_t>(j1);
     real_t* xi = x + static_cast<std::size_t>(i) * w;
     const real_t* ri = rhs + static_cast<std::size_t>(i) * w;
-    for (std::size_t j = 0; j < w; ++j) xi[j] = ri[j];
+    for (std::size_t j = c0; j < c1; ++j) xi[j] = ri[j];
     for (std::size_t t = b + 1; t < e; ++t) {
       const real_t v = val[t];
       const real_t* xd = x + static_cast<std::size_t>(col[t]) * w;
-      for (std::size_t j = 0; j < w; ++j) xi[j] -= v * xd[j];
+      for (std::size_t j = c0; j < c1; ++j) xi[j] -= v * xd[j];
     }
     const real_t d = val[b];
-    for (std::size_t j = 0; j < w; ++j) xi[j] /= d;
+    for (std::size_t j = c0; j < c1; ++j) xi[j] /= d;
   }
+
+  void operator()(index_t it) const { (*this)(it, 0, k); }
 };
 
 }  // namespace

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+/// Chase–Lev work-stealing deque for the pipelined executor.
+///
+/// One deque per `ThreadTeam` member: the owner pushes newly-ready
+/// (row, panel) tasks and pops them LIFO from the bottom; idle workers
+/// steal FIFO from the top. This is the Chase & Lev dynamic circular
+/// deque (SPAA'05) in the C++11-atomics formulation of Lê, Pop, Cohen &
+/// Nardelli (PPoPP'13), with one deliberate deviation: the standalone
+/// seq_cst fences of the published algorithm are folded into seq_cst
+/// operations on `top_`/`bottom_` themselves. ThreadSanitizer does not
+/// model standalone fences, and the whole point of this deque is to be
+/// race-audited on every PR (ISSUE 6 / ci tsan job); the folded form is
+/// the sequentially-consistent baseline of the original paper and costs
+/// one ordered store extra on `pop`, which is noise next to the numeric
+/// row work.
+///
+/// Element cells are atomics too (relaxed): a stale thief may read a slot
+/// the owner is concurrently republishing after wrap-around; its CAS on
+/// `top_` then fails and the torn-free value is discarded.
+///
+/// Ownership contract: `push`, `pop` and `reset` are owner-only; `steal`
+/// may be called from any thread. `reset` additionally requires the deque
+/// to be quiescent (no concurrent steals), which the executors guarantee
+/// by resetting before the team-entry rendezvous of a parallel region.
+namespace rtl {
+
+class WorkStealingDeque {
+ public:
+  /// Initial capacity is rounded up to a power of two (>= 2).
+  explicit WorkStealingDeque(std::size_t capacity_hint = 64)
+      : buffer_(new Buffer(round_up_pow2(capacity_hint))) {}
+
+  ~WorkStealingDeque() { delete buffer_.load(std::memory_order_relaxed); }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only: push a task onto the bottom. Grows the circular buffer
+  /// (retiring the old one until `reset`) when full.
+  void push(std::uint64_t item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pop the most recently pushed task (LIFO). Returns false
+  /// when the deque is empty (or the last task was lost to a thief).
+  bool pop(std::uint64_t& item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* const buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // already empty: restore and bail
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    item = buf->get(b);
+    if (t < b) return true;  // more than one task left: no race possible
+    // Exactly one task: race any concurrent thief for it via top_.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+
+  /// Any thread: steal the oldest task (FIFO). Returns false when empty
+  /// or when another thief (or the owner's pop) won the race.
+  bool steal(std::uint64_t& item) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    Buffer* const buf = buffer_.load(std::memory_order_acquire);
+    item = buf->get(t);
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+  }
+
+  /// Observable size (racy outside quiescence; exact for the owner when no
+  /// thieves are active).
+  [[nodiscard]] std::int64_t size() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  /// Current circular-buffer capacity.
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return buffer_.load(std::memory_order_relaxed)->capacity;
+  }
+
+  /// Owner only, quiescent only: empty the deque and free buffers retired
+  /// by earlier grows (thieves may still hold pointers to those between
+  /// parallel regions, hence the quiescence requirement).
+  void reset() noexcept {
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+    retired_.clear();
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          cells(std::make_unique<std::atomic<std::uint64_t>[]>(cap)) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+
+    void put(std::int64_t i, std::uint64_t v) noexcept {
+      cells[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t get(std::int64_t i) const noexcept {
+      return cells[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) noexcept {
+    std::size_t cap = 2;
+    while (cap < v) cap <<= 1;
+    return cap;
+  }
+
+  /// Owner only: double the buffer, copying the live range [t, b). The old
+  /// buffer stays alive (stale thieves may still read it) until `reset`.
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto next = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) next->put(i, old->get(i));
+    Buffer* const raw = next.get();
+    buffer_.store(raw, std::memory_order_release);
+    retired_.emplace_back(old);
+    next.release();
+    return raw;
+  }
+
+  alignas(cache_line_size) std::atomic<std::int64_t> top_{0};
+  alignas(cache_line_size) std::atomic<std::int64_t> bottom_{0};
+  alignas(cache_line_size) std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only
+};
+
+}  // namespace rtl

@@ -78,7 +78,7 @@ TEST(BatchViewTest, SingleVectorIsAWidthOneBatch) {
   EXPECT_EQ(v.at(2, 0), 3.0);
 }
 
-TEST(ExecStateTest, BatchWidthDefaultsToOneAndIsSticky) {
+TEST(ExecStateTest, BatchWidthDefaultsToOneAndExecuteResetsIt) {
   ThreadTeam team(2);
   Factored f;
   const auto plan = lower_plan_for(team, f.ilu);
@@ -86,6 +86,11 @@ TEST(ExecStateTest, BatchWidthDefaultsToOneAndIsSticky) {
   EXPECT_EQ(state.batch_width(), 1);
   state.prepare_batch(8);
   EXPECT_EQ(state.batch_width(), 8);
+  // Plain execute is a width-1 execution by contract: the width is never
+  // a sticky leftover (the pipelined executor sizes its panel
+  // decomposition and pending-counter array from it).
+  plan->execute(team, [](index_t) {}, state);
+  EXPECT_EQ(state.batch_width(), 1);
 }
 
 // ---------------------------------------------------------------------

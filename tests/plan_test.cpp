@@ -87,7 +87,7 @@ TEST_P(PlanTest, EveryExecutionPolicyMatchesSequential) {
     for (const auto exec :
          {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting,
           ExecutionPolicy::kDoAcross, ExecutionPolicy::kSelfScheduled,
-          ExecutionPolicy::kWindowed}) {
+          ExecutionPolicy::kWindowed, ExecutionPolicy::kPipelined}) {
       DoconsiderOptions opts;
       opts.scheduling = sched;
       opts.execution = exec;
@@ -159,7 +159,7 @@ TEST_P(PlanTest, BatchedExecuteMatchesKIndependentExecutions) {
   constexpr index_t kWidth = 3;
   for (const auto exec :
        {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting,
-        ExecutionPolicy::kWindowed}) {
+        ExecutionPolicy::kWindowed, ExecutionPolicy::kPipelined}) {
     DoconsiderOptions opts;
     opts.execution = exec;
     const Plan plan(team, loop.dependences(), opts);
@@ -198,6 +198,53 @@ TEST_P(PlanTest, BatchedExecuteMatchesKIndependentExecutions) {
                   x[static_cast<std::size_t>(i)])
             << "exec=" << static_cast<int>(exec) << " col=" << j
             << " row=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(PlanTest, PooledStateSurvivesAlternatingBatchWidths) {
+  // Regression for the ExecState pool-reuse sizing bug: a pooled state
+  // leased by a k=1 pipelined execute and then re-leased by a k=16
+  // execute_batch must re-validate its pending-counter array for the new
+  // task count (n * panels) instead of trusting the k=1 sizing — and the
+  // k=1 run after that must not inherit the width-16 panel decomposition.
+  ThreadTeam team(GetParam());
+  auto loop = SimpleLoop::make(222, 77);
+  const index_t n = static_cast<index_t>(loop.ia.size());
+  constexpr index_t kWide = 16;
+  DoconsiderOptions opts;
+  opts.execution = ExecutionPolicy::kPipelined;
+  opts.panel = 3;
+  const Plan plan(team, loop.dependences(), opts);
+  const auto expected = loop.sequential_result();
+
+  for (int round = 0; round < 2; ++round) {
+    std::vector<real_t> x = loop.x0;
+    plan.execute(team, loop.body(x));
+    ASSERT_EQ(x, expected) << "round " << round << " k=1";
+
+    std::vector<real_t> batch(static_cast<std::size_t>(n * kWide));
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < kWide; ++j) {
+        batch[static_cast<std::size_t>(i * kWide + j)] =
+            loop.x0[static_cast<std::size_t>(i)];
+      }
+    }
+    plan.execute_batch(team, kWide, [&](index_t i) {
+      if (i == 0) return;
+      const index_t d = loop.ia[static_cast<std::size_t>(i)];
+      for (index_t j = 0; j < kWide; ++j) {
+        batch[static_cast<std::size_t>(i * kWide + j)] +=
+            loop.b[static_cast<std::size_t>(i)] *
+            batch[static_cast<std::size_t>(d * kWide + j)];
+      }
+    });
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < kWide; ++j) {
+        ASSERT_EQ(batch[static_cast<std::size_t>(i * kWide + j)],
+                  expected[static_cast<std::size_t>(i)])
+            << "round " << round << " col=" << j << " row=" << i;
       }
     }
   }

@@ -15,10 +15,14 @@
 #include "kernel/batch.hpp"
 #include "kernel/bound_kernel.hpp"
 #include "sparse/csr.hpp"
+#include "test_rng.hpp"
 #include "workload/synthetic.hpp"
 
 namespace rtl {
 namespace {
+
+using test_rng::seed_trace;
+using test_rng::test_seed;
 
 /// Random forward-only DAG: each iteration depends on up to `max_deg`
 /// uniformly chosen earlier iterations.
@@ -49,7 +53,9 @@ class DagPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
 TEST_P(DagPropertyTest, WavefrontIsMinimalLevelAssignment) {
   // wave[i] == 0 iff no deps; otherwise exactly 1 + max(wave[deps]).
   const auto p = GetParam();
-  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const std::uint64_t seed = test_seed(p.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(p.n, p.max_deg, seed);
   const auto wf = compute_wavefronts(g);
   for (index_t i = 0; i < g.size(); ++i) {
     index_t expect = 0;
@@ -62,7 +68,9 @@ TEST_P(DagPropertyTest, WavefrontIsMinimalLevelAssignment) {
 
 TEST_P(DagPropertyTest, WavefrontCountEqualsLongestPath) {
   const auto p = GetParam();
-  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const std::uint64_t seed = test_seed(p.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(p.n, p.max_deg, seed);
   const auto wf = compute_wavefronts(g);
   // Longest dependence chain computed independently by DP.
   std::vector<index_t> depth(static_cast<std::size_t>(g.size()), 0);
@@ -80,7 +88,9 @@ TEST_P(DagPropertyTest, WavefrontCountEqualsLongestPath) {
 
 TEST_P(DagPropertyTest, SchedulesAreAlwaysValid) {
   const auto p = GetParam();
-  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const std::uint64_t seed = test_seed(p.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(p.n, p.max_deg, seed);
   const auto wf = compute_wavefronts(g);
   validate_schedule(global_schedule(wf, p.nproc), wf);
   validate_schedule(local_schedule(wf, wrapped_partition(g.size(), p.nproc)),
@@ -91,7 +101,9 @@ TEST_P(DagPropertyTest, SchedulesAreAlwaysValid) {
 
 TEST_P(DagPropertyTest, GlobalScheduleBalancesPhasesWithinOne) {
   const auto p = GetParam();
-  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const std::uint64_t seed = test_seed(p.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(p.n, p.max_deg, seed);
   const auto wf = compute_wavefronts(g);
   const auto s = global_schedule(wf, p.nproc);
   for (index_t w = 0; w < s.num_phases; ++w) {
@@ -107,7 +119,9 @@ TEST_P(DagPropertyTest, GlobalScheduleBalancesPhasesWithinOne) {
 
 TEST_P(DagPropertyTest, ExecutionOrderRespectsDependences) {
   const auto p = GetParam();
-  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const std::uint64_t seed = test_seed(p.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(p.n, p.max_deg, seed);
   ThreadTeam team(p.nproc);
   DoconsiderOptions opts;
   opts.scheduling = SchedulingPolicy::kLocalWrapped;
@@ -199,7 +213,9 @@ TEST_P(DagPropertyTest, FlatScheduleMatchesJaggedReference) {
   // iteration-for-iteration identical to the naive jagged construction for
   // every scheduling policy and processor count.
   const auto param = GetParam();
-  const auto g = random_dag(param.n, param.max_deg, param.seed);
+  const std::uint64_t seed = test_seed(param.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(param.n, param.max_deg, seed);
   const auto wf = compute_wavefronts(g);
   for (const auto policy :
        {SchedulingPolicy::kGlobal, SchedulingPolicy::kLocalWrapped,
@@ -245,7 +261,9 @@ TEST_P(DagPropertyTest, RecurrenceResultIndependentOfPolicy) {
   // policy combination; all must equal the sequential result bit-for-bit
   // (same operand order per iteration).
   const auto p = GetParam();
-  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const std::uint64_t seed = test_seed(p.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(p.n, p.max_deg, seed);
   ThreadTeam team(p.nproc);
 
   std::vector<real_t> ref(static_cast<std::size_t>(g.size()));
@@ -314,13 +332,15 @@ TEST_P(DagPropertyTest, BatchedKernelSolveIsBitForBitKSingleSolves) {
   // right-hand sides equals k sequential single-RHS solves bit-for-bit,
   // for every scheduling policy and processor count 1..8.
   const auto param = GetParam();
-  const auto g = random_dag(param.n, param.max_deg, param.seed);
-  const CsrMatrix lower = lower_matrix_from_dag(g, param.seed ^ 0xbeef);
+  const std::uint64_t seed = test_seed(param.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(param.n, param.max_deg, seed);
+  const CsrMatrix lower = lower_matrix_from_dag(g, seed ^ 0xbeef);
   const index_t n = g.size();
   const index_t k = 4;
 
   BatchBuffer rhs(n, k);
-  std::mt19937_64 rng(param.seed ^ 0xfeed);
+  std::mt19937_64 rng(seed ^ 0xfeed);
   std::uniform_real_distribution<real_t> dist(-10.0, 10.0);
   for (index_t j = 0; j < k; ++j) {
     std::vector<real_t> colv(static_cast<std::size_t>(n));
@@ -358,9 +378,61 @@ TEST_P(DagPropertyTest, BatchedKernelSolveIsBitForBitKSingleSolves) {
   }
 }
 
+TEST_P(DagPropertyTest, PipelinedBatchedSolveIsBitForBitBarrierSolve) {
+  // The acceptance property of the pipelined executor: for random DAGs,
+  // every processor count 1..8 and k in {1, 4, 16}, the barrier-free
+  // pipelined batched solve is bit-for-bit identical to the pre-scheduled
+  // (barrier) batched solve. The panel width 3 does not divide either
+  // batch width, so the last panel of every row is ragged — the panel
+  // decomposition must not change a single bit of any lane.
+  const auto param = GetParam();
+  const std::uint64_t seed = test_seed(param.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(param.n, param.max_deg, seed);
+  const CsrMatrix lower = lower_matrix_from_dag(g, seed ^ 0xbeef);
+  const index_t n = g.size();
+
+  std::mt19937_64 rng(seed ^ 0xfeed);
+  std::uniform_real_distribution<real_t> dist(-10.0, 10.0);
+  for (int nproc = 1; nproc <= 8; ++nproc) {
+    ThreadTeam team(nproc);
+    DoconsiderOptions barrier_opts;
+    barrier_opts.execution = ExecutionPolicy::kPreScheduled;
+    DoconsiderOptions pipe_opts;
+    pipe_opts.execution = ExecutionPolicy::kPipelined;
+    pipe_opts.panel = 3;
+    auto barrier_kernel = BoundKernel::lower(
+        std::make_shared<const Plan>(team, DependenceGraph(g), barrier_opts),
+        lower);
+    auto pipe_kernel = BoundKernel::lower(
+        std::make_shared<const Plan>(team, DependenceGraph(g), pipe_opts),
+        lower);
+    for (const index_t k : {1, 4, 16}) {
+      BatchBuffer rhs(n, k);
+      for (index_t j = 0; j < k; ++j) {
+        std::vector<real_t> colv(static_cast<std::size_t>(n));
+        for (auto& v : colv) v = dist(rng);
+        rhs.set_column(j, colv);
+      }
+      BatchBuffer got_barrier(n, k), got_pipe(n, k);
+      barrier_kernel.solve(team, rhs.view(), got_barrier.view());
+      pipe_kernel.solve(team, rhs.view(), got_pipe.view());
+      for (index_t j = 0; j < k; ++j) {
+        for (index_t i = 0; i < n; ++i) {
+          ASSERT_EQ(got_pipe.view().at(i, j), got_barrier.view().at(i, j))
+              << "nproc=" << nproc << " k=" << k << " col=" << j
+              << " row=" << i;
+        }
+      }
+    }
+  }
+}
+
 TEST_P(DagPropertyTest, SymbolicSelfNeverSlowerThanPreScheduled) {
   const auto p = GetParam();
-  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const std::uint64_t seed = test_seed(p.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(p.n, p.max_deg, seed);
   const auto wf = compute_wavefronts(g);
   const auto work = row_substitution_work(g);
   const auto s = global_schedule(wf, p.nproc);
@@ -372,7 +444,9 @@ TEST_P(DagPropertyTest, SymbolicSelfNeverSlowerThanPreScheduled) {
 TEST_P(DagPropertyTest, MakespanBounds) {
   // Any estimate lies between total/p (perfect speedup) and total work.
   const auto p = GetParam();
-  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const std::uint64_t seed = test_seed(p.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(p.n, p.max_deg, seed);
   const auto wf = compute_wavefronts(g);
   const auto work = row_substitution_work(g);
   const double total = std::accumulate(work.begin(), work.end(), 0.0);
@@ -390,7 +464,9 @@ TEST_P(DagPropertyTest, MakespanBounds) {
 
 TEST_P(DagPropertyTest, ParallelInspectorMatchesSequential) {
   const auto p = GetParam();
-  const auto g = random_dag(p.n, p.max_deg, p.seed);
+  const std::uint64_t seed = test_seed(p.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(p.n, p.max_deg, seed);
   ThreadTeam team(p.nproc);
   const auto seq = compute_wavefronts(g);
   const auto par = compute_wavefronts_parallel(g, team);
@@ -413,10 +489,12 @@ class SyntheticPropertyTest
 
 TEST_P(SyntheticPropertyTest, GeneratedWorkloadsAreWellFormed) {
   const auto [mesh, lambda, dist] = GetParam();
+  const std::uint64_t seed = test_seed(99);
+  SCOPED_TRACE(seed_trace(seed));
   const SyntheticSpec spec{.mesh = static_cast<index_t>(mesh),
                            .lambda = lambda,
                            .mean_dist = dist,
-                           .seed = 99};
+                           .seed = seed};
   const auto g = synthetic_dependences(spec);
   EXPECT_EQ(g.size(), static_cast<index_t>(mesh) * mesh);
   EXPECT_TRUE(g.is_forward_only());

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+/// RNG-seed plumbing for randomized tests.
+///
+/// Every randomized test derives its generator from a parameter seed so
+/// the grid is deterministic, but a failure on someone else's machine is
+/// only actionable if (a) the failing seed is printed and (b) it can be
+/// replayed without editing code. `test_seed` honors the `RTL_TEST_SEED`
+/// environment variable as a global override; `seed_trace` is the
+/// SCOPED_TRACE banner each test installs so any assertion failure names
+/// the seed and the replay command.
+namespace rtl::test_rng {
+
+/// The seed a randomized test should use: `RTL_TEST_SEED` when set to a
+/// valid non-negative integer, else `fallback` (the parameter seed).
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  if (const char* v = std::getenv("RTL_TEST_SEED");
+      v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      return static_cast<std::uint64_t>(parsed);
+    }
+  }
+  return fallback;
+}
+
+/// Failure banner: printed by SCOPED_TRACE on any assertion failure so
+/// the report says how to reproduce the exact random instance.
+inline std::string seed_trace(std::uint64_t seed) {
+  return "RNG seed = " + std::to_string(seed) +
+         " (replay with RTL_TEST_SEED=" + std::to_string(seed) + ")";
+}
+
+}  // namespace rtl::test_rng
