@@ -170,6 +170,14 @@ void Reporter::add_plan_cache(const Runtime::CacheCounters& counters) {
              static_cast<double>(counters.evictions), "count");
   add_scalar("plan_cache", "entries", static_cast<double>(counters.entries),
              "count");
+  add_scalar("plan_cache", "disk_hits",
+             static_cast<double>(counters.disk_hits), "count");
+  add_scalar("plan_cache", "disk_misses",
+             static_cast<double>(counters.disk_misses), "count");
+  add_scalar("plan_cache", "disk_writes",
+             static_cast<double>(counters.disk_writes), "count");
+  add_scalar("plan_cache", "disk_rejects",
+             static_cast<double>(counters.disk_rejects), "count");
 }
 
 void Reporter::add_config(const std::string& key, const std::string& value) {

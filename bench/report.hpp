@@ -109,8 +109,9 @@ class Reporter {
   /// gating.
   void add_plan_stats(const std::string& group, const PlanStats& stats);
 
-  /// Record `Runtime` plan-cache efficacy (hits/misses/evictions/entries,
-  /// "count") under the `plan_cache` group, so repeated-structure
+  /// Record `Runtime` plan-cache efficacy (hits/misses/evictions/entries
+  /// plus the disk-tier disk_hits/disk_misses/disk_writes/disk_rejects,
+  /// all "count") under the `plan_cache` group, so repeated-structure
   /// amortization (§5.1.1) shows up in the JSON trend data.
   void add_plan_cache(const Runtime::CacheCounters& counters);
 

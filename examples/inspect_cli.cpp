@@ -3,6 +3,7 @@
 //
 //   inspect_cli [--matrix FILE.mtx | --problem NAME] [--procs P]
 //               [--level K] [--reorder natural|rcm|wavefront]
+//               [--save-plan F] [--load-plan F]
 //
 // Prints the dependence-graph statistics of the ILU(K) forward solve
 // (wavefront count, width distribution, critical path), the symbolic
@@ -10,6 +11,14 @@
 // processors (the paper's Figure 1 matrix), the inspector costs, and the
 // plan fingerprint plus Runtime plan-cache counters (one cold and one
 // warm `plan_for`, so cache behavior is observable from the shell).
+//
+// --save-plan F serializes the full solve bundle (forward plan to F,
+// backward to F.upper, numeric-factorization to F.factor, default
+// options) in the core/plan_io binary format — the producer half of
+// `solver_cli --load-plan F`. --load-plan F instead loads F, prints the
+// stored artifact's statistics, and verifies its structure fingerprint
+// against the current matrix's forward-solve graph (exit 1 on mismatch),
+// making it a shell-scriptable plan validity check.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,6 +27,7 @@
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "core/plan_io.hpp"
 #include "core/runtime.hpp"
 #include "graph/wavefront.hpp"
 #include "runtime/timer.hpp"
@@ -34,7 +44,8 @@ using namespace rtl;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--matrix FILE.mtx | --problem NAME] [--procs P]\n"
-               "          [--level K] [--reorder natural|rcm|wavefront]\n",
+               "          [--level K] [--reorder natural|rcm|wavefront]\n"
+               "          [--save-plan F] [--load-plan F]\n",
                argv0);
   return 2;
 }
@@ -57,6 +68,8 @@ int main(int argc, char** argv) {
   std::string matrix_path;
   std::string problem = "spe5";
   std::string reorder = "natural";
+  std::string save_plan_path;
+  std::string load_plan_path;
   int procs = 16;
   int level = 0;
 
@@ -76,6 +89,10 @@ int main(int argc, char** argv) {
       level = std::atoi(next());
     } else if (arg == "--reorder") {
       reorder = next();
+    } else if (arg == "--save-plan") {
+      save_plan_path = next();
+    } else if (arg == "--load-plan") {
+      load_plan_path = next();
     } else {
       return usage(argv[0]);
     }
@@ -163,6 +180,48 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(cc.misses),
         static_cast<unsigned long long>(cc.evictions), cc.entries,
         rt.plan_cache_capacity());
+    std::printf(
+        "disk tier        : %llu hit(s), %llu miss(es), %llu write(s), "
+        "%llu reject(s)%s%s\n",
+        static_cast<unsigned long long>(cc.disk_hits),
+        static_cast<unsigned long long>(cc.disk_misses),
+        static_cast<unsigned long long>(cc.disk_writes),
+        static_cast<unsigned long long>(cc.disk_rejects),
+        rt.plan_cache_dir().empty() ? " (disabled)" : " in ",
+        rt.plan_cache_dir().c_str());
+
+    if (!save_plan_path.empty()) {
+      // The producer half of `solver_cli --load-plan`: the forward-solve
+      // plan already built above, plus the backward-solve and numeric-
+      // factorization plans a preconditioned solve will ask for.
+      save_plan_file(*cold, save_plan_path);
+      const auto upper = rt.plan_for(upper_solve_dependences(ilu.upper()));
+      save_plan_file(*upper, save_plan_path + ".upper");
+      const auto factor = rt.plan_for(ilu.row_dependences());
+      save_plan_file(*factor, save_plan_path + ".factor");
+      std::printf("plan bundle      : saved %s{,.upper,.factor}\n",
+                  save_plan_path.c_str());
+    }
+    if (!load_plan_path.empty()) {
+      const auto loaded = load_plan_file(load_plan_path);
+      const PlanStats lst = loaded->stats();
+      std::printf(
+          "loaded plan      : %s — fingerprint %016llx, n=%d, %d phases, "
+          "%d procs, %.1f KiB\n",
+          load_plan_path.c_str(),
+          static_cast<unsigned long long>(loaded->fingerprint()), lst.n,
+          lst.phases, loaded->nproc(),
+          static_cast<double>(lst.bytes) / 1024.0);
+      if (loaded->fingerprint() != cold->fingerprint()) {
+        std::fprintf(stderr,
+                     "error: loaded plan fingerprint %016llx does not match "
+                     "this matrix's forward-solve structure %016llx\n",
+                     static_cast<unsigned long long>(loaded->fingerprint()),
+                     static_cast<unsigned long long>(cold->fingerprint()));
+        return 1;
+      }
+      std::printf("fingerprint check: loaded plan matches this matrix\n");
+    }
 
     // The flat inspector artifact: what the executor walks on every run.
     const PlanStats st = cold->stats();

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Warm-start smoke test (registered as the `warm_start_smoke` ctest):
+#
+#   1. inspect_cli --save-plan writes the three-plan bundle for a stencil
+#      problem and must verify its own bundle with --load-plan;
+#   2. solver_cli --load-plan adopts the bundle and must solve with ZERO
+#      inspector runs (asserted against the printed plan-cache counters);
+#   3. the same warm start implicitly through RTL_PLAN_CACHE_DIR: a cold
+#      run populates the directory, a second process must disk-hit every
+#      plan and again report zero inspector runs.
+#
+# Usage: check_warm_start.sh <inspect_cli> <solver_cli>
+set -euo pipefail
+
+inspect_cli=$1
+solver_cli=$2
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+problem="5pt"
+procs=2
+bundle="$workdir/stencil.rtlplan"
+
+fail() { echo "check_warm_start: $1" >&2; exit 1; }
+
+# --- 1. produce and self-verify the bundle --------------------------------
+"$inspect_cli" --problem "$problem" --procs "$procs" \
+    --save-plan "$bundle" > "$workdir/save.out" 2>/dev/null \
+  || fail "inspect_cli --save-plan failed"
+for f in "$bundle" "$bundle.upper" "$bundle.factor"; do
+  [ -s "$f" ] || fail "bundle file $f missing or empty"
+done
+"$inspect_cli" --problem "$problem" --procs "$procs" \
+    --load-plan "$bundle" > "$workdir/verify.out" 2>/dev/null \
+  || fail "inspect_cli --load-plan rejected its own bundle"
+grep -q "fingerprint check: loaded plan matches this matrix" \
+    "$workdir/verify.out" || fail "fingerprint verification line missing"
+
+# --- 2. explicit warm start: zero inspector runs --------------------------
+"$solver_cli" --problem "$problem" --procs "$procs" --maxit 5 \
+    --load-plan "$bundle" > "$workdir/warm.out" 2>/dev/null \
+  || true  # maxit 5 will not converge; only the counters matter here
+grep -q "inspector runs : 0" "$workdir/warm.out" \
+  || fail "--load-plan did not skip the inspector: $(grep 'plan cache' "$workdir/warm.out" || echo 'no counter line')"
+
+# --- 3. implicit warm start through the disk cache ------------------------
+cache="$workdir/plan-cache"
+RTL_PLAN_CACHE_DIR="$cache" "$solver_cli" --problem "$problem" \
+    --procs "$procs" --maxit 5 > "$workdir/cold.out" 2>/dev/null || true
+[ -d "$cache" ] || fail "cold run did not create the cache directory"
+ls "$cache"/plan-*.rtlplan >/dev/null 2>&1 \
+  || fail "cold run wrote no plan images"
+RTL_PLAN_CACHE_DIR="$cache" "$solver_cli" --problem "$problem" \
+    --procs "$procs" --maxit 5 > "$workdir/disk.out" 2>/dev/null || true
+grep -q "inspector runs : 0" "$workdir/disk.out" \
+  || fail "disk-cached run still ran the inspector: $(grep 'plan cache' "$workdir/disk.out" || echo 'no counter line')"
+
+echo "warm start OK: explicit bundle and disk cache both skipped the inspector"

@@ -79,6 +79,10 @@ struct DoconsiderOptions {
   /// run is perfectly load balanced, does P times the work, keeps all
   /// synchronization memory traffic but never actually waits.
   bool instrumented = false;
+
+  /// Field-wise equality (used by the plan cache's disk tier and plan_io
+  /// to verify that a restored plan answers exactly the request made).
+  bool operator==(const DoconsiderOptions&) const = default;
 };
 
 /// Options with the fields that do not apply to `execution` forced to a

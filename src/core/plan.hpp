@@ -45,6 +45,12 @@ namespace rtl {
 
 class Plan;
 
+namespace detail {
+// Deserialization gateway (core/plan_io.cpp): the only caller of Plan's
+// inspector-free adoption constructor.
+struct PlanRestorer;
+}  // namespace detail
+
 /// Summary of a plan's inspector artifact: the shape of the parallelism it
 /// found and the bytes the executor walks per run.
 struct PlanStats {
@@ -253,6 +259,9 @@ class Plan {
   // Runtime::plan_for already hashed the graph for its cache key and
   // passes the value through the trusted constructor below.
   friend class Runtime;
+  // load_plan (core/plan_io) restores a serialized artifact through the
+  // adoption constructor below after validating every invariant.
+  friend struct detail::PlanRestorer;
 
   /// Primary constructor: `fingerprint`, when provided, must equal
   /// `graph.fingerprint()` — callers other than Runtime pass nullopt.
@@ -282,6 +291,28 @@ class Plan {
     // consumers), so it needs the successor lists the predecessor CSR
     // cannot give it in O(deg). Built once at inspector time, like every
     // other artifact component.
+    if (options_.execution == ExecutionPolicy::kPipelined) {
+      successors_ = graph_.reversed();
+    }
+  }
+
+  /// Adoption constructor (plan_io deserialization): take a pre-built,
+  /// fully validated artifact without running the inspector. `options`
+  /// must already be normalized and `fingerprint` must equal
+  /// `graph.fingerprint()` — `load_plan` enforces both before reaching
+  /// this point. The successor adjacency of the pipelined executor is the
+  /// one derived component rebuilt here rather than deserialized: it is a
+  /// pure function of the dependence CSR, so rebuilding cannot disagree
+  /// with the image.
+  Plan(DependenceGraph graph, DoconsiderOptions options, int nproc,
+       std::uint64_t fingerprint, WavefrontInfo wavefronts,
+       Schedule schedule)
+      : graph_(std::move(graph)),
+        options_(options),
+        nproc_(nproc),
+        fingerprint_(fingerprint),
+        wavefronts_(std::move(wavefronts)),
+        schedule_(std::move(schedule)) {
     if (options_.execution == ExecutionPolicy::kPipelined) {
       successors_ = graph_.reversed();
     }

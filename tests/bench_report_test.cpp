@@ -125,6 +125,10 @@ TEST(ReporterTest, PlanStatsAndCacheCountersLandInTheRecords) {
   cc.misses = 2;
   cc.evictions = 1;
   cc.entries = 2;
+  cc.disk_hits = 3;
+  cc.disk_misses = 4;
+  cc.disk_writes = 4;
+  cc.disk_rejects = 1;
   rep.add_plan_cache(cc);
 
   const std::string json = rep.to_json();
@@ -140,9 +144,13 @@ TEST(ReporterTest, PlanStatsAndCacheCountersLandInTheRecords) {
   EXPECT_NE(json.find("\"metric\": \"misses\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"evictions\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"entries\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"disk_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"disk_misses\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"disk_writes\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"disk_rejects\""), std::string::npos);
   // Derived units must stay non-gating: nothing here may carry "ms".
   for (const auto& r : rep.records()) EXPECT_NE(r.unit, "ms");
-  ASSERT_EQ(rep.records().size(), 8u);
+  ASSERT_EQ(rep.records().size(), 12u);
 }
 
 TEST(ReporterTest, SkippedDriverStillProducesADocument) {

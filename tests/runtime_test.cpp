@@ -1,14 +1,23 @@
 // Tests for the runtime substrate: thread team, barrier, ready flags,
-// spin waits, block partitioning, work-stealing deque.
+// spin waits, block partitioning, work-stealing deque — plus the
+// `Runtime` plan cache's on-disk tier (lookup order memory LRU → disk →
+// inspector, atomic write-back, reject-and-reinspect of invalid images).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "core/plan_io.hpp"
+#include "core/runtime.hpp"
+#include "graph/dependence_graph.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/ready_flags.hpp"
 #include "runtime/spin_wait.hpp"
@@ -378,6 +387,223 @@ TEST(WallTimerTest, MinTimeMsRunsAllRepeats) {
   const double ms = min_time_ms(5, [&] { ++count; });
   EXPECT_EQ(count, 5);
   EXPECT_GE(ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime plan cache: disk tier
+// ---------------------------------------------------------------------------
+
+/// A small deterministic DAG; `variant` perturbs the structure so tests
+/// can produce distinct fingerprints on demand.
+DependenceGraph test_dag(int variant = 0) {
+  std::vector<std::vector<index_t>> preds = {
+      {}, {0}, {0}, {1, 2}, {2}, {3, 4}, {5}, {5, 6}, {7}, {6, 8}};
+  if (variant == 1) preds[9] = {8};
+  if (variant == 2) preds[4] = {1, 2};
+  return DependenceGraph::from_lists(preds);
+}
+
+/// Fresh empty directory under the gtest temp root.
+std::string fresh_cache_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "rtl_plan_cache_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// The on-disk image path the disk tier uses for `g` under default
+/// options on an `nproc`-wide Runtime.
+std::string cache_path_for(const std::string& dir, const DependenceGraph& g,
+                           int nproc) {
+  return dir + "/" +
+         plan_cache_file_name(g.fingerprint(), g.size(), g.num_edges(),
+                              nproc, normalized_options({}));
+}
+
+TEST(RuntimeDiskCache, ColdMissWritesImageWarmProcessDiskHits) {
+  const std::string dir = fresh_cache_dir("cold_warm");
+  const auto g = test_dag();
+  std::uint64_t fingerprint = 0;
+  {
+    Runtime rt(2, 8, dir);
+    const auto plan = rt.plan_for(test_dag());
+    fingerprint = plan->fingerprint();
+    const auto c = rt.plan_cache_counters();
+    EXPECT_EQ(c.misses, 1u);  // the one inspector run
+    EXPECT_EQ(c.disk_misses, 1u);
+    EXPECT_EQ(c.disk_writes, 1u);
+    EXPECT_EQ(c.disk_hits, 0u);
+    EXPECT_EQ(c.disk_rejects, 0u);
+    EXPECT_TRUE(std::filesystem::exists(cache_path_for(dir, g, 2)));
+    // Second call in the same process: memory hit, disk untouched.
+    (void)rt.plan_for(test_dag());
+    EXPECT_EQ(rt.plan_cache_counters().hits, 1u);
+    EXPECT_EQ(rt.plan_cache_counters().disk_misses, 1u);
+  }
+  // A second Runtime ("second process"): the memory LRU is empty, so the
+  // lookup falls to the disk tier — and must NOT run the inspector.
+  Runtime rt2(2, 8, dir);
+  const auto plan = rt2.plan_for(test_dag());
+  EXPECT_EQ(plan->fingerprint(), fingerprint);
+  const auto c = rt2.plan_cache_counters();
+  EXPECT_EQ(c.misses, 0u) << "disk hit must skip the inspector";
+  EXPECT_EQ(c.disk_hits, 1u);
+  EXPECT_EQ(c.disk_writes, 0u);
+  // The disk-loaded plan was promoted into the memory LRU.
+  (void)rt2.plan_for(test_dag());
+  EXPECT_EQ(rt2.plan_cache_counters().hits, 1u);
+  EXPECT_EQ(rt2.plan_cache_counters().disk_hits, 1u);
+}
+
+TEST(RuntimeDiskCache, CorruptImageIsRejectedReinspectedAndOverwritten) {
+  const std::string dir = fresh_cache_dir("corrupt");
+  const auto g = test_dag();
+  {
+    Runtime rt(2, 8, dir);
+    (void)rt.plan_for(test_dag());
+  }
+  const std::string path = cache_path_for(dir, g, 2);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  {
+    // Truncate the image mid-payload: a classic partial write.
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "RTLPLAN";  // valid-looking prefix, hopelessly short
+  }
+  Runtime rt(2, 8, dir);
+  const auto plan = rt.plan_for(test_dag());
+  EXPECT_EQ(plan->fingerprint(), g.fingerprint());
+  const auto c = rt.plan_cache_counters();
+  EXPECT_EQ(c.disk_rejects, 1u);
+  EXPECT_EQ(c.misses, 1u) << "rejected image must fall back to the inspector";
+  EXPECT_EQ(c.disk_writes, 1u) << "re-inspected plan must replace the image";
+  // The replacement is valid: a third Runtime disk-hits.
+  Runtime rt3(2, 8, dir);
+  (void)rt3.plan_for(test_dag());
+  EXPECT_EQ(rt3.plan_cache_counters().disk_hits, 1u);
+  EXPECT_EQ(rt3.plan_cache_counters().misses, 0u);
+}
+
+TEST(RuntimeDiskCache, ForeignValidImageUnderWrongNameIsRejected) {
+  // A structurally valid image filed under another structure's name (e.g.
+  // a bad copy or a hash collision in a hand-managed directory) passes
+  // load_plan but must fail the Runtime's key check.
+  const std::string dir = fresh_cache_dir("foreign");
+  {
+    Runtime rt(2, 8, dir);
+    (void)rt.plan_for(test_dag(1));  // writes variant 1's image
+  }
+  const auto g1 = test_dag(1);
+  const auto g = test_dag();
+  ASSERT_NE(g1.fingerprint(), g.fingerprint());
+  std::filesystem::copy_file(cache_path_for(dir, g1, 2),
+                             cache_path_for(dir, g, 2));
+  Runtime rt(2, 8, dir);
+  const auto plan = rt.plan_for(test_dag());
+  EXPECT_EQ(plan->fingerprint(), g.fingerprint());
+  const auto c = rt.plan_cache_counters();
+  EXPECT_EQ(c.disk_rejects, 1u);
+  EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(RuntimeDiskCache, NoDirectoryMeansPurelyInMemoryBehavior) {
+  Runtime rt(2, 8, std::string());
+  (void)rt.plan_for(test_dag());
+  (void)rt.plan_for(test_dag());
+  (void)rt.plan_for(test_dag(1));
+  const auto c = rt.plan_cache_counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.disk_hits, 0u);
+  EXPECT_EQ(c.disk_misses, 0u);
+  EXPECT_EQ(c.disk_writes, 0u);
+  EXPECT_EQ(c.disk_rejects, 0u);
+}
+
+TEST(RuntimeDiskCache, DefaultDirComesFromEnvironment) {
+  const char* saved = std::getenv("RTL_PLAN_CACHE_DIR");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ::setenv("RTL_PLAN_CACHE_DIR", "/some/cache/dir", 1);
+  EXPECT_EQ(Runtime::default_plan_cache_dir(), "/some/cache/dir");
+  ::unsetenv("RTL_PLAN_CACHE_DIR");
+  EXPECT_EQ(Runtime::default_plan_cache_dir(), "");
+  if (saved != nullptr) {
+    ::setenv("RTL_PLAN_CACHE_DIR", saved_value.c_str(), 1);
+  }
+}
+
+TEST(RuntimeDiskCache, UnwritableDirectoryDoesNotFailTheSolve) {
+  // A read-only (or otherwise unusable) cache path must degrade to
+  // memory-only caching, not break plan_for.
+  Runtime rt(2, 8, "/proc/no_such_cache_dir");
+  const auto plan = rt.plan_for(test_dag());
+  ASSERT_NE(plan, nullptr);
+  const auto c = rt.plan_cache_counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.disk_writes, 0u);
+}
+
+TEST(RuntimeAdoptPlan, AdoptedPlanServesPlanForWithoutInspector) {
+  const std::string dir = fresh_cache_dir("adopt");
+  // Produce a serialized plan, as `solver_cli --save-plan` would.
+  std::shared_ptr<const Plan> external;
+  {
+    Runtime rt(2, 8, dir);
+    (void)rt.plan_for(test_dag());
+  }
+  external = load_plan_file(cache_path_for(dir, test_dag(), 2));
+  ASSERT_NE(external, nullptr);
+
+  Runtime rt(2, 8, std::string());
+  rt.adopt_plan(external);
+  const auto plan = rt.plan_for(test_dag());
+  EXPECT_EQ(plan.get(), external.get()) << "adopted plan must be returned";
+  const auto c = rt.plan_cache_counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 0u);
+}
+
+TEST(RuntimeAdoptPlan, RejectsNullAndWrongProcessorCount) {
+  Runtime rt2(2, 8, std::string());
+  Runtime rt3(3, 8, std::string());
+  EXPECT_THROW(rt2.adopt_plan(nullptr), std::invalid_argument);
+  const auto plan = rt2.plan_for(test_dag());
+  EXPECT_THROW(rt3.adopt_plan(plan), std::invalid_argument);
+  // Adoption into a same-width Runtime is fine.
+  Runtime other2(2, 8, std::string());
+  other2.adopt_plan(plan);
+  EXPECT_EQ(other2.plan_for(test_dag()).get(), plan.get());
+}
+
+TEST(RuntimeDiskCache, ConcurrentRuntimesSharingOneDirectoryStaySane) {
+  // Two Runtimes in one process hammer the same directory over the same
+  // three structures. Runs under the TSan CI job: the atomic temp+rename
+  // publish and the per-Runtime mutexes must keep every image complete
+  // and every returned plan valid, whatever the interleaving.
+  const std::string dir = fresh_cache_dir("concurrent");
+  auto worker = [&dir] {
+    Runtime rt(2, 8, dir);
+    for (int rep = 0; rep < 3; ++rep) {
+      for (int v = 0; v < 3; ++v) {
+        const auto plan = rt.plan_for(test_dag(v));
+        ASSERT_NE(plan, nullptr);
+        ASSERT_EQ(plan->fingerprint(), test_dag(v).fingerprint());
+      }
+    }
+    const auto c = rt.plan_cache_counters();
+    // Whatever the race outcome, every lookup was served and nothing was
+    // rejected (only complete images are ever visible under the final
+    // name).
+    EXPECT_EQ(c.disk_rejects, 0u);
+    // Every lookup is exactly one of: memory hit, disk hit, inspector run.
+    EXPECT_EQ(c.hits + c.misses + c.disk_hits, 9u);
+  };
+  std::thread a(worker), b(worker);
+  a.join();
+  b.join();
+  // Afterwards the directory serves a fresh Runtime entirely from disk.
+  Runtime rt(2, 8, dir);
+  for (int v = 0; v < 3; ++v) (void)rt.plan_for(test_dag(v));
+  EXPECT_EQ(rt.plan_cache_counters().misses, 0u);
+  EXPECT_EQ(rt.plan_cache_counters().disk_hits, 3u);
 }
 
 }  // namespace
