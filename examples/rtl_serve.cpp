@@ -1,0 +1,221 @@
+// The solve-service daemon: a SolveService behind a Unix-domain socket.
+//
+//   rtl_serve --socket PATH [--procs P] [--queue-cap N] [--max-batch K]
+//             [--batch-window-us U] [--level K] [--metrics-json F]
+//
+// Serves concurrent rtl_client sessions multiplexed onto one shared
+// Runtime: per-session matrix registries, bounded admission, and a
+// batching aggregator that coalesces concurrent single-RHS requests on
+// the same factorization into one batched sweep. RTL_PLAN_CACHE_DIR
+// gives the service a persistent plan cache: a restarted server reports
+// "inspector runs : 0" for structures it has served before.
+//
+// Runs until SIGINT/SIGTERM, then shuts down gracefully: new admissions
+// are rejected with a typed error, in-flight solves drain and their
+// replies are written, plan write-backs are already on disk (they are
+// synchronous), and the final metrics snapshot is printed — and, with
+// --metrics-json F, written as a bench-schema JSON document (see
+// docs/BENCHMARKS.md).
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "report.hpp"  // bench/ JSON reporting (rtl_bench_common)
+#include "service/server.hpp"
+#include "service/solve_service.hpp"
+
+namespace {
+
+using namespace rtl;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--procs P] [--queue-cap N]\n"
+               "          [--max-batch K] [--batch-window-us U]\n"
+               "          [--metrics-json F]\n"
+               "Serves solve requests over the Unix-domain socket at PATH\n"
+               "until SIGINT/SIGTERM. RTL_PLAN_CACHE_DIR enables the\n"
+               "persistent plan cache (warm restarts skip the inspector).\n",
+               argv0);
+  return 2;
+}
+
+// Self-pipe: the signal handler does the only async-signal-safe thing
+// (write one byte); main blocks reading the pipe.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void print_metrics(const ServiceMetrics& m) {
+  std::printf("rtl_serve: shutdown metrics\n");
+  std::printf("  sessions       : %llu opened, %llu closed\n",
+              static_cast<unsigned long long>(m.sessions_opened),
+              static_cast<unsigned long long>(m.sessions_closed));
+  std::printf("  admitted       : %llu (%llu rejected, peak depth %llu/%llu)\n",
+              static_cast<unsigned long long>(m.admitted),
+              static_cast<unsigned long long>(m.rejected),
+              static_cast<unsigned long long>(m.queue_depth_peak),
+              static_cast<unsigned long long>(m.queue_capacity));
+  std::printf("  completed      : %llu (%llu errors)\n",
+              static_cast<unsigned long long>(m.completed),
+              static_cast<unsigned long long>(m.request_errors));
+  std::printf("  batches        : %llu (%llu multi-request)\n",
+              static_cast<unsigned long long>(m.batches),
+              static_cast<unsigned long long>(m.multi_request_batches()));
+  std::printf("  batch widths   :");
+  static const char* kBucketNames[kBatchWidthBuckets] = {
+      "1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", ">64"};
+  for (int b = 0; b < kBatchWidthBuckets; ++b) {
+    if (m.batch_width_hist[b] > 0) {
+      std::printf(" [%s]=%llu", kBucketNames[b],
+                  static_cast<unsigned long long>(m.batch_width_hist[b]));
+    }
+  }
+  std::printf("\n");
+  std::printf("  solve latency  : p50 %.3f ms, p99 %.3f ms (%llu samples)\n",
+              m.solve_latency.percentile_ms(50.0),
+              m.solve_latency.percentile_ms(99.0),
+              static_cast<unsigned long long>(m.solve_latency.total()));
+  std::printf("  plan cache     : %llu hits, %llu misses, disk %llu/%llu\n",
+              static_cast<unsigned long long>(m.cache.hits),
+              static_cast<unsigned long long>(m.cache.misses),
+              static_cast<unsigned long long>(m.cache.disk_hits),
+              static_cast<unsigned long long>(m.cache.disk_writes));
+  std::printf("  inspector runs : %llu\n",
+              static_cast<unsigned long long>(m.inspector_runs()));
+  std::printf("  team size      : %llu\n",
+              static_cast<unsigned long long>(m.team_size));
+}
+
+void write_metrics_json(const ServiceMetrics& m, const std::string& path) {
+  // Reporter writes to $RTL_BENCH_JSON; point it at the requested path.
+  ::setenv("RTL_BENCH_JSON", path.c_str(), 1);
+  bench::Reporter report("rtl_serve");
+  report.add_scalar("service", "admitted", static_cast<double>(m.admitted),
+                    "count");
+  report.add_scalar("service", "rejected", static_cast<double>(m.rejected),
+                    "count");
+  report.add_scalar("service", "queue_depth_peak",
+                    static_cast<double>(m.queue_depth_peak), "count");
+  report.add_scalar("service", "completed", static_cast<double>(m.completed),
+                    "count");
+  report.add_scalar("service", "request_errors",
+                    static_cast<double>(m.request_errors), "count");
+  report.add_scalar("service", "sessions_opened",
+                    static_cast<double>(m.sessions_opened), "count");
+  report.add_scalar("service", "batches", static_cast<double>(m.batches),
+                    "count");
+  report.add_scalar("service", "multi_request_batches",
+                    static_cast<double>(m.multi_request_batches()), "count");
+  for (int b = 0; b < kBatchWidthBuckets; ++b) {
+    report.add_scalar("service", "batch_width_bucket_" + std::to_string(b),
+                      static_cast<double>(m.batch_width_hist[b]), "count");
+  }
+  report.add_scalar("service", "solve_p50",
+                    m.solve_latency.percentile_ms(50.0), "ms");
+  report.add_scalar("service", "solve_p99",
+                    m.solve_latency.percentile_ms(99.0), "ms");
+  report.add_scalar("service", "inspector_runs",
+                    static_cast<double>(m.inspector_runs()), "count");
+  report.add_scalar("service", "team_size", static_cast<double>(m.team_size),
+                    "count");
+  report.add_plan_cache(m.cache);
+  if (report.flush()) {
+    std::printf("rtl_serve: metrics JSON written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "rtl_serve: failed to write metrics JSON to %s\n",
+                 path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string metrics_json;
+  ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      socket_path = v;
+    } else if (arg == "--procs") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      config.team_size = std::atoi(v);
+    } else if (arg == "--queue-cap") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      config.queue_capacity = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--max-batch") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      config.max_batch = std::atoi(v);
+    } else if (arg == "--batch-window-us") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      config.batch_window = std::chrono::microseconds(std::atol(v));
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      metrics_json = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) return usage(argv[0]);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("rtl_serve: pipe");
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  try {
+    SolveService service(config);
+    ServiceServer server(service, socket_path);
+    std::printf("rtl_serve: listening on %s (team %d, queue %zu, "
+                "max batch %d, window %lld us)\n",
+                socket_path.c_str(), service.runtime().size(),
+                service.config().queue_capacity,
+                static_cast<int>(service.config().max_batch),
+                static_cast<long long>(service.config().batch_window.count()));
+    if (!service.config().plan_cache_dir.empty()) {
+      std::printf("rtl_serve: plan cache dir %s\n",
+                  service.config().plan_cache_dir.c_str());
+    }
+    std::fflush(stdout);
+
+    char byte = 0;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::printf("rtl_serve: signal received, draining\n");
+    std::fflush(stdout);
+
+    server.stop();
+    const ServiceMetrics metrics = service.metrics();
+    print_metrics(metrics);
+    if (!metrics_json.empty()) write_metrics_json(metrics, metrics_json);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rtl_serve: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Solve-service smoke test (registered as the `service_smoke` ctest):
+#
+#   1. start rtl_serve with RTL_PLAN_CACHE_DIR on a fresh temp directory,
+#      run rtl_client against it (cold: the server pays the inspector),
+#      stop the server with SIGTERM and require a graceful exit (rc 0,
+#      drained metrics printed, metrics JSON written);
+#   2. start a SECOND rtl_serve on the same cache directory, run the same
+#      client workload, and require the server's shutdown metrics to
+#      report ZERO inspector runs — the warm start must survive a server
+#      restart, not just a plan-cache hit inside one process;
+#   3. the client's result checksum must be bit-for-bit identical cold vs
+#      warm (deterministic solves through a restarted, disk-warmed server);
+#   4. the --metrics-json output must be valid JSON in the bench schema.
+#
+# Usage: check_service.sh <rtl_serve> <rtl_client>
+set -euo pipefail
+
+rtl_serve=$1
+rtl_client=$2
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -KILL "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+cache="$workdir/plan-cache"
+sock="$workdir/service.sock"
+workload="5pt:16"
+
+fail() { echo "check_service: $1" >&2; exit 1; }
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && return 0
+    kill -0 "$server_pid" 2>/dev/null || fail "server died before listening: $(cat "$1")"
+    sleep 0.1
+  done
+  fail "server never created $sock"
+}
+
+run_round() {  # $1 = round name (cold|warm)
+  local round=$1
+  RTL_PLAN_CACHE_DIR="$cache" "$rtl_serve" --socket "$sock" --procs 2 \
+      --metrics-json "$workdir/$round.json" \
+      > "$workdir/serve-$round.out" 2>&1 &
+  server_pid=$!
+  wait_for_socket "$workdir/serve-$round.out"
+  "$rtl_client" --socket "$sock" --workload "$workload" --rhs 4 --repeat 2 \
+      > "$workdir/client-$round.out" 2>&1 \
+    || fail "$round client run failed: $(cat "$workdir/client-$round.out")"
+  kill -TERM "$server_pid"
+  local rc=0
+  wait "$server_pid" || rc=$?
+  server_pid=""
+  [ "$rc" -eq 0 ] || fail "$round server did not exit cleanly on SIGTERM (rc $rc)"
+  grep -q "shutdown metrics" "$workdir/serve-$round.out" \
+    || fail "$round server printed no drained metrics"
+}
+
+# --- 1. cold round: populates the cache directory --------------------------
+run_round cold
+[ -d "$cache" ] || fail "cold round did not create the plan-cache directory"
+ls "$cache"/plan-*.rtlplan >/dev/null 2>&1 \
+  || fail "cold round wrote no plan images"
+grep -q "inspector runs : 0" "$workdir/serve-cold.out" \
+  && fail "cold round claims zero inspector runs — cache dir was not fresh"
+
+# --- 2. warm round: restarted server must skip the inspector ----------------
+run_round warm
+grep -q "inspector runs : 0" "$workdir/serve-warm.out" \
+  || fail "restarted server still ran the inspector: $(grep 'inspector runs' "$workdir/serve-warm.out" || echo 'no counter line')"
+
+# --- 3. determinism across the restart --------------------------------------
+cold_sum=$(grep "result checksum" "$workdir/client-cold.out") \
+  || fail "cold client printed no checksum"
+warm_sum=$(grep "result checksum" "$workdir/client-warm.out") \
+  || fail "warm client printed no checksum"
+[ "$cold_sum" = "$warm_sum" ] \
+  || fail "results differ across restart: '$cold_sum' vs '$warm_sum'"
+
+# --- 4. metrics JSON is well-formed bench schema -----------------------------
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$workdir/warm.json" <<'EOF' || fail "warm metrics JSON invalid"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["driver"] == "rtl_serve", doc["driver"]
+metrics = {r["metric"]: r["mean"] for r in doc["records"]
+           if r["group"] == "service"}
+assert metrics["inspector_runs"] == 0, metrics
+assert metrics["completed"] > 0, metrics
+EOF
+else
+  [ -s "$workdir/warm.json" ] || fail "warm metrics JSON missing"
+fi
+
+echo "service OK: warm restart skipped the inspector, checksums identical"

@@ -184,6 +184,10 @@ Runtime::CacheCounters Runtime::plan_cache_counters() const {
           disk_hits_,  disk_misses_, disk_writes_, disk_rejects_};
 }
 
+Runtime::Metrics Runtime::metrics_snapshot() const {
+  return {plan_cache_counters(), team_.exec_counters(), team_.size()};
+}
+
 void Runtime::clear_plan_cache() {
   const std::lock_guard<std::mutex> lock(mutex_);
   cache_.clear();

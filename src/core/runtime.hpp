@@ -132,6 +132,19 @@ class Runtime {
   };
   [[nodiscard]] CacheCounters plan_cache_counters() const;
 
+  /// One-call observability snapshot for services built on a Runtime:
+  /// the plan-cache counters, the team's accumulated synchronization-event
+  /// counters, and the team size, read together. `cache.misses` is exactly
+  /// the number of inspector runs — the number a warm-started service
+  /// reports as zero. Thread-safe; the exec counters follow the relaxed
+  /// between-regions contract of `ThreadTeam::exec_counters`.
+  struct Metrics {
+    CacheCounters cache;
+    ExecCounters exec;
+    int team_size = 0;
+  };
+  [[nodiscard]] Metrics metrics_snapshot() const;
+
   /// Drop every cached plan (shared_ptrs held by callers stay valid).
   /// Does not count as evictions — those are capacity pressure.
   void clear_plan_cache();

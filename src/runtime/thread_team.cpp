@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cassert>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 #include "runtime/spin_wait.hpp"
 
@@ -130,6 +132,23 @@ void ThreadTeam::worker_loop(int tid) {
       outstanding_.fetch_sub(1, std::memory_order_release);
     }
   }
+}
+
+int default_solver_team_size(int reserved_threads) noexcept {
+  if (const char* v = std::getenv("RTL_PROCS"); v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(v, &end, 10);
+    // Garbage and non-positive values fall through to the derived default
+    // rather than silently producing a degenerate team.
+    if (errno == 0 && end != nullptr && *end == '\0' && parsed >= 1 &&
+        parsed <= 1 << 20) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int available = static_cast<int>(hw) - reserved_threads;
+  return available >= 1 ? available : 1;
 }
 
 BlockRange block_range(index_t n, int tid, int nthreads) noexcept {

@@ -156,6 +156,16 @@ class ThreadTeam {
   std::exception_ptr error_;
 };
 
+/// Sane default team size for a long-running process that also owns
+/// service threads (listener, session readers): the `RTL_PROCS`
+/// environment variable when set to a positive integer, else the host's
+/// hardware concurrency minus `reserved_threads`, never below 1. This is
+/// the sizing the solve service uses so its solver team does not
+/// oversubscribe the cores its own transport threads run on (the
+/// oversubscription warning above explains why that matters); `RTL_PROCS`
+/// stays the explicit override, exactly as in the bench harness.
+[[nodiscard]] int default_solver_team_size(int reserved_threads) noexcept;
+
 /// Contiguous block of `[0, n)` assigned to member `tid` of `nthreads`
 /// under an even static partition (the paper's "contiguous groups of
 /// roughly equal size", Appendix II §2.1). Returns {begin, end}.

@@ -1,0 +1,136 @@
+#include "service/client.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rtl {
+
+namespace {
+
+[[noreturn]] void rethrow_error(const ErrorMsg& error) {
+  throw ServiceError(error.code, error.message);
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(const std::string& socket_path)
+    : sock_(connect_unix(socket_path)) {}
+
+ServiceMessage ServiceClient::roundtrip(const ServiceMessage& request) {
+  const std::uint64_t id = message_request_id(request);
+  send_frame(sock_, request);
+  ServiceMessage reply;
+  if (!recv_frame(sock_, reply)) {
+    throw ServiceError(ServiceErrc::kIoError,
+                       "client: server closed the connection mid-request");
+  }
+  if (message_request_id(reply) != id) {
+    throw ServiceError(ServiceErrc::kBadFrame,
+                       "client: reply does not match the pending request id");
+  }
+  if (const auto* error = std::get_if<ErrorMsg>(&reply)) {
+    rethrow_error(*error);
+  }
+  return reply;
+}
+
+void ServiceClient::upload_matrix(std::uint32_t matrix_id,
+                                  const CsrMatrix& matrix, int ilu_level) {
+  UploadMatrixMsg msg;
+  msg.request_id = next_request_++;
+  msg.matrix_id = matrix_id;
+  msg.ilu_level = static_cast<std::uint32_t>(ilu_level);
+  msg.matrix = matrix;
+  const ServiceMessage reply = roundtrip(msg);
+  if (!std::holds_alternative<AckMsg>(reply)) {
+    throw ServiceError(ServiceErrc::kBadFrame,
+                       "client: expected ack for upload_matrix");
+  }
+}
+
+void ServiceClient::open_workload(std::uint32_t matrix_id,
+                                  const std::string& name, int ilu_level) {
+  OpenWorkloadMsg msg;
+  msg.request_id = next_request_++;
+  msg.matrix_id = matrix_id;
+  msg.ilu_level = static_cast<std::uint32_t>(ilu_level);
+  msg.name = name;
+  const ServiceMessage reply = roundtrip(msg);
+  if (!std::holds_alternative<AckMsg>(reply)) {
+    throw ServiceError(ServiceErrc::kBadFrame,
+                       "client: expected ack for open_workload");
+  }
+}
+
+std::vector<real_t> ServiceClient::solve(std::uint32_t matrix_id,
+                                         std::vector<real_t> rhs) {
+  SolveMsg msg;
+  msg.request_id = next_request_++;
+  msg.matrix_id = matrix_id;
+  msg.rhs = std::move(rhs);
+  ServiceMessage reply = roundtrip(msg);
+  auto* result = std::get_if<SolveResultMsg>(&reply);
+  if (result == nullptr) {
+    throw ServiceError(ServiceErrc::kBadFrame,
+                       "client: expected solve result");
+  }
+  return std::move(result->x);
+}
+
+ServiceMetrics ServiceClient::metrics() {
+  GetMetricsMsg msg;
+  msg.request_id = next_request_++;
+  ServiceMessage reply = roundtrip(msg);
+  auto* result = std::get_if<MetricsResultMsg>(&reply);
+  if (result == nullptr) {
+    throw ServiceError(ServiceErrc::kBadFrame,
+                       "client: expected metrics result");
+  }
+  return result->metrics;
+}
+
+std::vector<ServiceClient::SolveOutcome> ServiceClient::solve_pipelined(
+    std::uint32_t matrix_id,
+    const std::vector<std::vector<real_t>>& rhs_batch) {
+  std::vector<SolveOutcome> outcomes(rhs_batch.size());
+  for (std::size_t i = 0; i < rhs_batch.size(); ++i) {
+    SolveMsg msg;
+    msg.request_id = next_request_++;
+    msg.matrix_id = matrix_id;
+    msg.rhs = rhs_batch[i];
+    outcomes[i].request_id = msg.request_id;
+    send_frame(sock_, msg);
+  }
+  for (std::size_t received = 0; received < rhs_batch.size(); ++received) {
+    ServiceMessage reply;
+    if (!recv_frame(sock_, reply)) {
+      throw ServiceError(ServiceErrc::kIoError,
+                         "client: server closed with replies outstanding");
+    }
+    const std::uint64_t id = message_request_id(reply);
+    const auto it = std::find_if(
+        outcomes.begin(), outcomes.end(), [id](const SolveOutcome& o) {
+          return o.request_id == id && !o.ok &&
+                 o.error_message.empty() && o.x.empty();
+        });
+    if (it == outcomes.end()) {
+      throw ServiceError(ServiceErrc::kBadFrame,
+                         "client: reply for an unknown or duplicate id");
+    }
+    if (auto* result = std::get_if<SolveResultMsg>(&reply)) {
+      it->ok = true;
+      it->x = std::move(result->x);
+    } else if (const auto* error = std::get_if<ErrorMsg>(&reply)) {
+      it->ok = false;
+      it->error = error->code;
+      it->error_message =
+          error->message.empty() ? "(no message)" : error->message;
+    } else {
+      throw ServiceError(ServiceErrc::kBadFrame,
+                         "client: unexpected reply type in solve burst");
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace rtl

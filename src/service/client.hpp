@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/socket.hpp"
+
+/// Client side of the solve service: one connection == one session.
+///
+/// The synchronous calls (`upload_matrix`, `open_workload`, `solve`,
+/// `metrics`) send one request and block for its reply, turning an
+/// ErrorMsg reply back into a thrown `ServiceError`. `solve_pipelined`
+/// sends a whole burst before reading any reply — that concurrency is
+/// what gives the server's aggregator something to coalesce — and returns
+/// per-request outcomes so callers can tolerate typed admission
+/// rejections (`kRejected`) without losing the successful responses.
+namespace rtl {
+
+class ServiceClient {
+ public:
+  /// Connect to the server's Unix-domain socket. Throws
+  /// ServiceError(kIoError) when nothing is listening.
+  explicit ServiceClient(const std::string& socket_path);
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Register `matrix` under `matrix_id`; blocks until the factorization
+  /// is built. Throws ServiceError on any typed failure.
+  void upload_matrix(std::uint32_t matrix_id, const CsrMatrix& matrix,
+                     int ilu_level);
+
+  /// Register the named server-side workload under `matrix_id`.
+  void open_workload(std::uint32_t matrix_id, const std::string& name,
+                     int ilu_level);
+
+  /// x = U^{-1} L^{-1} rhs through the registered factorization.
+  [[nodiscard]] std::vector<real_t> solve(std::uint32_t matrix_id,
+                                          std::vector<real_t> rhs);
+
+  /// Snapshot the server's metrics.
+  [[nodiscard]] ServiceMetrics metrics();
+
+  /// Outcome of one request of a pipelined burst, in submission order.
+  struct SolveOutcome {
+    std::uint64_t request_id = 0;
+    bool ok = false;
+    ServiceErrc error = ServiceErrc::kInternal;  // valid when !ok
+    std::string error_message;                   // valid when !ok
+    std::vector<real_t> x;                       // valid when ok
+  };
+
+  /// Send every rhs before reading any reply, then collect all replies
+  /// (they may arrive out of order; outcomes are re-matched by request
+  /// id). Only transport/framing failures throw — a typed error reply
+  /// (e.g. kRejected under admission pressure) is an !ok outcome.
+  [[nodiscard]] std::vector<SolveOutcome> solve_pipelined(
+      std::uint32_t matrix_id,
+      const std::vector<std::vector<real_t>>& rhs_batch);
+
+ private:
+  /// Send one request, block for its reply (matching request id), throw
+  /// on ErrorMsg.
+  ServiceMessage roundtrip(const ServiceMessage& request);
+
+  Socket sock_;
+  std::uint64_t next_request_ = 1;
+};
+
+}  // namespace rtl

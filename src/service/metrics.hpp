@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/runtime.hpp"
+#include "runtime/latency_histogram.hpp"
+
+/// Observability snapshot of a running `SolveService`.
+///
+/// Everything here is collected with relaxed atomics or read under the
+/// queue lock the service already holds — no allocation and no extra
+/// synchronization on the solve hot path. A snapshot is a plain struct so
+/// it can be shipped over the wire (the `kGetMetrics` request), dumped
+/// into the bench JSON schema (`rtl_serve --metrics-json`), and asserted
+/// on by tests. Field-by-field meaning:
+///
+///  - admission: `admitted` / `rejected` count submissions accepted into
+///    and bounced off the bounded queue; `queue_depth` is the instantaneous
+///    backlog and `queue_depth_peak` its high-water mark.
+///  - aggregation: `batches` counts kernel launches; the batch-width
+///    histogram records, per launch, how many single-RHS requests were
+///    coalesced into it (log2 buckets: 1, 2, 3-4, 5-8, ..., >64). Widths
+///    above 1 are the service-level proof that concurrent clients share
+///    sweeps.
+///  - latency: `solve_latency` is a fixed-bucket histogram of
+///    submit-to-completion time per request (runtime/latency_histogram.hpp);
+///    p50/p99 come from `LatencySnapshot::percentile_ms`.
+///  - plan cache: the owned Runtime's counters verbatim; `cache.misses`
+///    is exactly the inspector runs, so a warm-started service reports 0.
+namespace rtl {
+
+/// Number of log2 batch-width buckets: 1, 2, 3-4, 5-8, 9-16, 17-32,
+/// 33-64, >64.
+inline constexpr int kBatchWidthBuckets = 8;
+
+/// Bucket index of a coalesced batch of `width` requests (width >= 1).
+[[nodiscard]] constexpr int batch_width_bucket(std::int64_t width) noexcept {
+  if (width <= 1) return 0;
+  int b = 1;
+  std::int64_t upper = 2;  // bucket b covers (upper/2, upper]
+  while (width > upper && b + 1 < kBatchWidthBuckets) {
+    upper *= 2;
+    ++b;
+  }
+  return b;
+}
+
+/// Plain-value metrics snapshot (see file comment for field semantics).
+struct ServiceMetrics {
+  // Admission.
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_depth_peak = 0;
+  std::uint64_t queue_capacity = 0;
+
+  // Request outcomes.
+  std::uint64_t completed = 0;
+  std::uint64_t request_errors = 0;
+
+  // Sessions and registry.
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t matrices_uploaded = 0;
+  std::uint64_t workloads_opened = 0;
+
+  // Aggregation.
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t batch_width_hist[kBatchWidthBuckets] = {};
+
+  // Latency (submit to completion, per solve request).
+  LatencySnapshot solve_latency;
+
+  // The owned Runtime: plan cache (cache.misses == inspector runs),
+  // accumulated synchronization-event counters, team size.
+  Runtime::CacheCounters cache;
+  ExecCounters exec;
+  std::uint64_t team_size = 0;
+
+  /// Inspector runs since service start (the warm-start litmus value).
+  [[nodiscard]] std::uint64_t inspector_runs() const noexcept {
+    return cache.misses;
+  }
+
+  /// Number of kernel launches that coalesced more than one request.
+  [[nodiscard]] std::uint64_t multi_request_batches() const noexcept {
+    std::uint64_t t = 0;
+    for (int b = 1; b < kBatchWidthBuckets; ++b) {
+      t += batch_width_hist[b];
+    }
+    return t;
+  }
+};
+
+}  // namespace rtl

@@ -1,0 +1,142 @@
+#include "service/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace rtl {
+
+namespace {
+
+[[noreturn]] void fail_io(const std::string& what) {
+  throw ServiceError(ServiceErrc::kIoError,
+                     "socket: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw ServiceError(ServiceErrc::kIoError,
+                       "socket: path empty or longer than sun_path: '" +
+                           path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_address(path);
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) fail_io("socket()");
+  ::unlink(path.c_str());  // stale file from an unclean previous run
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    fail_io("bind('" + path + "')");
+  }
+  if (::listen(sock.fd(), backlog) != 0) fail_io("listen('" + path + "')");
+  return sock;
+}
+
+Socket connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_address(path);
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) fail_io("socket()");
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return sock;
+    }
+    if (errno != EINTR) fail_io("connect('" + path + "')");
+  }
+}
+
+bool wait_readable(const Socket& sock, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = sock.fd();
+  pfd.events = POLLIN;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r > 0) return true;
+    if (r == 0) return false;
+    if (errno != EINTR) fail_io("poll()");
+  }
+}
+
+Socket accept_unix(const Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == ECONNABORTED || errno == EINTR) return Socket();
+    fail_io("accept()");
+  }
+}
+
+void write_fully(const Socket& sock, std::span<const unsigned char> bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::send(sock.fd(), bytes.data() + done,
+                             bytes.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_io("send()");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+bool read_exactly(const Socket& sock, std::span<unsigned char> bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n =
+        ::recv(sock.fd(), bytes.data() + done, bytes.size() - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_io("recv()");
+    }
+    if (n == 0) {
+      if (done == 0) return false;  // clean end-of-stream between frames
+      throw ServiceError(ServiceErrc::kIoError,
+                         "socket: peer closed mid-frame (" +
+                             std::to_string(done) + "/" +
+                             std::to_string(bytes.size()) + " bytes)");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void send_frame(const Socket& sock, const ServiceMessage& msg) {
+  write_fully(sock, encode_message(msg));
+}
+
+bool recv_frame(const Socket& sock, ServiceMessage& out) {
+  std::vector<unsigned char> frame(kFrameHeaderBytes);
+  if (!read_exactly(sock, frame)) return false;
+  // Validate magic/version/type/length before sizing the payload buffer.
+  const FrameHeader header = parse_frame_header(frame);
+  frame.resize(kFrameHeaderBytes + header.payload_len + kFrameTrailerBytes);
+  if (!read_exactly(sock, std::span<unsigned char>(frame).subspan(
+                              kFrameHeaderBytes))) {
+    throw ServiceError(ServiceErrc::kIoError,
+                       "socket: peer closed mid-frame (header only)");
+  }
+  out = parse_message(frame);
+  return true;
+}
+
+}  // namespace rtl

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "service/protocol.hpp"
+
+/// Thin RAII layer over POSIX Unix-domain stream sockets, plus the framed
+/// send/receive built on it.
+///
+/// Unix-domain sockets are deliberate: the service targets co-located
+/// clients (same host, loopback latency), a filesystem path cannot race
+/// another test's port, and no new dependency is needed. Every helper
+/// loops on EINTR, writes with MSG_NOSIGNAL (a dead peer surfaces as a
+/// typed `ServiceError(kIoError)`, never SIGPIPE), and distinguishes a
+/// clean end-of-stream from a mid-frame disconnect.
+namespace rtl {
+
+/// Owning file descriptor. Moves transfer ownership; destruction closes.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on `path`, removing any stale socket file first. Throws
+/// ServiceError(kIoError) on failure (path too long, bind refused, ...).
+[[nodiscard]] Socket listen_unix(const std::string& path, int backlog = 16);
+
+/// Connect to the listener at `path`. Throws ServiceError(kIoError).
+[[nodiscard]] Socket connect_unix(const std::string& path);
+
+/// Block until `sock` is readable or `timeout_ms` elapses; true when
+/// readable. The listener polls this so a stop flag is honored promptly
+/// without shutdown()-on-listener portability games.
+[[nodiscard]] bool wait_readable(const Socket& sock, int timeout_ms);
+
+/// Accept one pending connection (call after wait_readable). Returns an
+/// invalid Socket on transient failure (ECONNABORTED); throws
+/// ServiceError(kIoError) on real ones.
+[[nodiscard]] Socket accept_unix(const Socket& listener);
+
+/// Write every byte or throw ServiceError(kIoError).
+void write_fully(const Socket& sock, std::span<const unsigned char> bytes);
+
+/// Read exactly bytes.size() bytes. Returns false on a clean end-of-stream
+/// before the first byte; throws ServiceError(kIoError) on a mid-buffer
+/// disconnect or read failure.
+[[nodiscard]] bool read_exactly(const Socket& sock,
+                                std::span<unsigned char> bytes);
+
+/// Encode and write one message as a complete frame.
+void send_frame(const Socket& sock, const ServiceMessage& msg);
+
+/// Read and strictly validate one frame; false on clean end-of-stream
+/// before a new frame starts. Throws ServiceError on malformed input
+/// (framing codes) or transport failure (kIoError). The header is
+/// validated *before* the payload buffer is allocated, so a hostile
+/// declared length is rejected without the allocation it names.
+[[nodiscard]] bool recv_frame(const Socket& sock, ServiceMessage& out);
+
+}  // namespace rtl

@@ -1,0 +1,116 @@
+// Unit tests for the fixed-bucket latency histogram
+// (runtime/latency_histogram.hpp): bucket mapping, percentile estimates
+// (conservative upper bounds, monotone in p), concurrent recording, and
+// the snapshot/reset lifecycle. The histogram backs both the service
+// metrics (p50/p99 solve latency) and client-side reporting, so its
+// estimates are pinned here rather than trusted by eyeball.
+
+#include "runtime/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rtl {
+namespace {
+
+TEST(LatencyHistogramTest, BucketMappingIsPowerOfTwoMicroseconds) {
+  // Bucket i covers [2^i, 2^{i+1}) microseconds; bucket 0 also absorbs
+  // everything below 2 us.
+  EXPECT_EQ(LatencyHistogram::bucket_of_ms(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of_ms(-1.0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of_ms(0.0005), 0);   // 0.5 us
+  EXPECT_EQ(LatencyHistogram::bucket_of_ms(0.001), 0);    // 1 us
+  EXPECT_EQ(LatencyHistogram::bucket_of_ms(0.002), 1);    // 2 us
+  EXPECT_EQ(LatencyHistogram::bucket_of_ms(0.003), 1);    // 3 us
+  EXPECT_EQ(LatencyHistogram::bucket_of_ms(0.004), 2);    // 4 us
+  EXPECT_EQ(LatencyHistogram::bucket_of_ms(1.0), 9);      // 1000 us
+  EXPECT_EQ(LatencyHistogram::bucket_of_ms(1000.0), 19);  // 1 s
+  // An absurd sample clamps into the last bucket instead of indexing out
+  // of range.
+  EXPECT_EQ(LatencyHistogram::bucket_of_ms(1e30), LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, BucketBoundsAreConsistentWithMapping) {
+  for (int i = 0; i < LatencyHistogram::kBuckets - 1; ++i) {
+    // A sample just below the bucket's upper bound maps into the bucket.
+    const double upper = LatencySnapshot::bucket_upper_ms(i);
+    EXPECT_EQ(LatencyHistogram::bucket_of_ms(upper * 0.99), i) << i;
+  }
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotReportsZero) {
+  const LatencySnapshot s = LatencyHistogram().snapshot();
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(s.percentile_ms(50.0), 0.0);
+  EXPECT_EQ(s.percentile_ms(99.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentileIsConservativeUpperBound) {
+  LatencyHistogram h;
+  // 99 samples at ~1 ms, one at ~1 s: p50 must answer from the 1 ms
+  // bucket, p99 still from the 1 ms bucket (99th of 100), p100 from the
+  // outlier's bucket.
+  for (int i = 0; i < 99; ++i) h.record(1.0);
+  h.record(1000.0);
+  const LatencySnapshot s = h.snapshot();
+  EXPECT_EQ(s.total(), 100u);
+  const double ms_bucket_upper =
+      LatencySnapshot::bucket_upper_ms(LatencyHistogram::bucket_of_ms(1.0));
+  EXPECT_EQ(s.percentile_ms(50.0), ms_bucket_upper);
+  EXPECT_EQ(s.percentile_ms(99.0), ms_bucket_upper);
+  EXPECT_GE(s.percentile_ms(100.0), 1000.0);
+  // The estimate is an upper bound on the true sample value.
+  EXPECT_GE(s.percentile_ms(50.0), 1.0);
+  // Out-of-range p clamps rather than misbehaving.
+  EXPECT_EQ(s.percentile_ms(-5.0), s.percentile_ms(0.0));
+  EXPECT_EQ(s.percentile_ms(250.0), s.percentile_ms(100.0));
+}
+
+TEST(LatencyHistogramTest, PercentileIsMonotoneInP) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.record(0.001 * static_cast<double>(i));  // 0 us .. 1 ms spread
+  }
+  const LatencySnapshot s = h.snapshot();
+  double prev = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double v = s.percentile_ms(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogramTest, ResetZeroesEverything) {
+  LatencyHistogram h;
+  h.record(1.0);
+  h.record(2.0);
+  ASSERT_EQ(h.snapshot().total(), 2u);
+  h.reset();
+  EXPECT_EQ(h.snapshot().total(), 0u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordersLoseNothing) {
+  // The record path is advertised as callable from any thread; hammer it
+  // from several and require an exact total (relaxed increments still
+  // cannot lose counts).
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(0.001 * static_cast<double>((t * 7 + i) % 2048));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.snapshot().total(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace rtl
