@@ -24,6 +24,15 @@
 // interleaving (unit "events", informational). On hosts too noisy for
 // wall-clock deltas the counters are the accepted evidence that the
 // pipelined path takes zero per-phase barriers (docs/PERF.md).
+//
+// PR 9 additions, same in-binary A/B discipline: every batched record
+// gets a `scalar_*` twin timed through the scalar dispatch
+// (select_simd(false)) and pinned bit-for-bit against the SIMD one; the
+// SpMV kernel family gets its own `spmv_k*` sweep; the float32-storage
+// apply (`batch_f32_k16_*`) and the column gather/scatter micro-records
+// round out the set. Each kernel record carries its roofline
+// bytes-touched model (`*_bytes`) and achieved bandwidth (`*_gbps`,
+// informational units — not gated).
 
 #include <cstdio>
 #include <vector>
@@ -31,6 +40,7 @@
 #include "bench_common.hpp"
 #include "core/runtime.hpp"
 #include "kernel/batch.hpp"
+#include "kernel/spmv_kernel.hpp"
 #include "solver/parallel_triangular.hpp"
 
 namespace {
@@ -162,6 +172,29 @@ int main() {
         return 1;
       }
 
+      // In-binary scalar control: same kernels re-dispatched through the
+      // scalar bodies via select_simd, pinned bit-for-bit against the
+      // default (SIMD when compiled in) batched result. This is the
+      // interleaved A/B pair docs/PERF.md requires — both flavors live in
+      // this binary and this process, so the comparison cannot be
+      // polluted by build or boot-time differences.
+      BatchBuffer bx_scalar(n, k);
+      solver.kernel().select_simd(false);
+      const Stats scalar_ms = measure_ms(reps, [&] {
+        solver.solve(team, brhs.view(), bx_scalar.view());
+      });
+      solver.kernel().select_simd(true);
+      for (index_t j = 0; j < k; ++j) {
+        for (index_t i = 0; i < n; ++i) {
+          if (bx.view().at(i, j) != bx_scalar.view().at(i, j)) {
+            std::fprintf(stderr,
+                         "%s: scalar k=%d diverged from simd dispatch\n",
+                         c.name.c_str(), k);
+            return 1;
+          }
+        }
+      }
+
       const std::string kk = "batch_k" + std::to_string(k);
       report.add(c.name, kk + "_solve_ms", batch_ms);
       report.add_scalar(c.name, kk + "_ms_per_rhs",
@@ -171,7 +204,66 @@ int main() {
                                     "_ms_per_rhs",
                         singles_ms.mean / static_cast<double>(k),
                         "ms-derived");
+      report.add(c.name, "scalar_" + kk + "_solve_ms", scalar_ms);
+      report.add_scalar(c.name, "scalar_" + kk + "_ms_per_rhs",
+                        scalar_ms.mean / static_cast<double>(k),
+                        "ms-derived");
+
+      // Roofline traffic of the fused L+U apply at this width, and the
+      // achieved bandwidth of the timed batched solve (informational:
+      // unit is not gated).
+      const double bytes = static_cast<double>(
+          solver.kernel().lower().bytes_per_solve(k) +
+          solver.kernel().upper().bytes_per_solve(k));
+      report.add_scalar(c.name, kk + "_bytes", bytes, "bytes");
+      report.add_scalar(c.name, kk + "_gbps",
+                        bytes / (batch_ms.min * 1e6), "GB/s");
       std::printf(" %10.4f", batch_ms.min / static_cast<double>(k));
+    }
+
+    // Float32-storage batched apply at the widest batch: same sweep,
+    // half the per-lane traffic (double accumulation inside the rows).
+    {
+      const index_t k = 16;
+      BatchBufferF frhs(n, k), fx(n, k);
+      for (index_t j = 0; j < k; ++j) {
+        std::vector<float> col(nz);
+        for (index_t i = 0; i < n; ++i) {
+          col[static_cast<std::size_t>(i)] = static_cast<float>(
+              rhs[static_cast<std::size_t>(i)] *
+              (1.0 + 0.25 * static_cast<real_t>(j)));
+        }
+        frhs.set_column(j, col);
+      }
+      const Stats f32_ms = measure_ms(reps, [&] {
+        solver.solve(team, frhs.view(), fx.view());
+      });
+      const double fbytes = static_cast<double>(
+          solver.kernel().lower().bytes_per_solve(k, sizeof(float)) +
+          solver.kernel().upper().bytes_per_solve(k, sizeof(float)));
+      report.add(c.name, "batch_f32_k16_solve_ms", f32_ms);
+      report.add_scalar(c.name, "batch_f32_k16_ms_per_rhs",
+                        f32_ms.mean / static_cast<double>(k), "ms-derived");
+      report.add_scalar(c.name, "batch_f32_k16_bytes", fbytes, "bytes");
+      report.add_scalar(c.name, "batch_f32_k16_gbps",
+                        fbytes / (f32_ms.min * 1e6), "GB/s");
+    }
+
+    // Column gather/scatter micro-bench: the strided batch<->vector
+    // round-trip the batched Krylov drivers ride per tick (GMRES per-column
+    // post-processing). Vectorized strided loops in kernel/batch.hpp.
+    {
+      const index_t k = 16;
+      BatchBuffer buf(n, k);
+      std::vector<real_t> col(nz);
+      const Stats gather_ms = measure_ms(reps, [&] {
+        for (index_t j = 0; j < k; ++j) buf.get_column(j, col);
+      });
+      const Stats scatter_ms = measure_ms(reps, [&] {
+        for (index_t j = 0; j < k; ++j) buf.set_column(j, col);
+      });
+      report.add(c.name, "column_gather16_ms", gather_ms);
+      report.add(c.name, "column_scatter16_ms", scatter_ms);
     }
     std::printf("\n");
 
@@ -250,7 +342,62 @@ int main() {
           static_cast<unsigned long long>(pipe_c.flag_publishes),
           static_cast<unsigned long long>(pipe_c.steals));
     }
+
+    // The second kernel family: batched SpMV through the bound kernel,
+    // with the same in-binary scalar-vs-SIMD control pair and roofline
+    // records. Verified bit-for-bit against k single applies.
+    auto spmv = SpMVKernel::bind(c.system.a);
+    for (const index_t k : widths) {
+      BatchBuffer sx(n, k), sy(n, k), sy_scalar(n, k);
+      for (index_t j = 0; j < k; ++j) {
+        std::vector<real_t> col(rhs);
+        for (auto& v : col) v *= 1.0 + 0.25 * static_cast<real_t>(j);
+        sx.set_column(j, col);
+      }
+      spmv.select_simd(true);
+      const Stats spmv_ms = measure_ms(reps, [&] {
+        spmv.apply(team, sx.view(), sy.view());
+      });
+      spmv.select_simd(false);
+      const Stats spmv_scalar_ms = measure_ms(reps, [&] {
+        spmv.apply(team, sx.view(), sy_scalar.view());
+      });
+      spmv.select_simd(true);
+
+      std::vector<real_t> colx(nz), coly(nz);
+      for (index_t j = 0; j < k; ++j) {
+        sx.get_column(j, colx);
+        spmv.apply(team, colx, coly);
+        for (index_t i = 0; i < n; ++i) {
+          if (sy.view().at(i, j) != coly[static_cast<std::size_t>(i)] ||
+              sy.view().at(i, j) != sy_scalar.view().at(i, j)) {
+            std::fprintf(stderr,
+                         "%s: spmv k=%d diverged (batched vs single or "
+                         "simd vs scalar)\n",
+                         c.name.c_str(), k);
+            return 1;
+          }
+        }
+      }
+
+      const std::string sk = "spmv_k" + std::to_string(k);
+      const double sbytes = static_cast<double>(spmv.bytes_per_apply(k));
+      report.add(c.name, sk + "_apply_ms", spmv_ms);
+      report.add_scalar(c.name, sk + "_ms_per_rhs",
+                        spmv_ms.mean / static_cast<double>(k), "ms-derived");
+      report.add(c.name, "scalar_" + sk + "_apply_ms", spmv_scalar_ms);
+      report.add_scalar(c.name, "scalar_" + sk + "_ms_per_rhs",
+                        spmv_scalar_ms.mean / static_cast<double>(k),
+                        "ms-derived");
+      report.add_scalar(c.name, sk + "_bytes", sbytes, "bytes");
+      report.add_scalar(c.name, sk + "_gbps",
+                        sbytes / (spmv_ms.min * 1e6), "GB/s");
+      std::printf("%-8s spmv k=%-2d simd %9.4f ms | scalar %9.4f ms\n",
+                  c.name.c_str(), k, spmv_ms.min, spmv_scalar_ms.min);
+    }
   }
+  report.add_config("simd_compiled", simd_compiled() ? "yes" : "no");
+  report.add_config("simd_bound", simd_bind_default() ? "on" : "off");
   report.add_plan_cache(rt.plan_cache_counters());
   return 0;
 }

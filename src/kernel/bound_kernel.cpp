@@ -1,5 +1,6 @@
 #include "kernel/bound_kernel.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -65,45 +66,76 @@ struct UpperSolveBody {
   }
 };
 
+// The batched bodies process each row's lanes in fixed-size chunks of
+// double accumulators so the float32-storage path accumulates in double
+// with the *same* unit-stride inner loops as the double path. For
+// T = real_t the chunked form performs, per lane, exactly the operation
+// sequence of the single-RHS body (initialize from rhs, subtract matrix
+// entries in storage order, divide by the diagonal last) — each step is
+// the identically-rounded double op — so batched results stay
+// bit-for-bit equal to k single solves whether the accumulator lives in
+// a register chunk or in x itself.
+inline constexpr std::size_t kLaneChunk = 32;
+
+// One inner lane loop, emitted in a SIMD and a scalar flavor selected by
+// the body's compile-time `Simd` flag. `omp simd` asserts only lane
+// independence (true by construction: lanes are distinct batch columns);
+// it never reassociates within a lane, which is what keeps the SIMD and
+// scalar dispatches bit-for-bit identical for the same storage type.
+#define RTL_LANE_LOOP(...)                                      \
+  if constexpr (Simd) {                                         \
+    RTL_SIMD_LOOP                                               \
+    for (std::size_t jj = 0; jj < m; ++jj) { __VA_ARGS__; }     \
+  } else {                                                      \
+    for (std::size_t jj = 0; jj < m; ++jj) { __VA_ARGS__; }     \
+  }
+
 /// Batched forward substitution: the k-sweep is the unit-stride inner
 /// loop over the row's contiguous strip; the matrix row is read once for
 /// all k right-hand sides. Panel-aware: the pipelined executor may hand
 /// the body any sub-range [j0, j1) of the RHS columns, and because each
 /// lane's operation sequence is independent of the other lanes, a
 /// panel-sliced solve stays bit-for-bit identical to the full sweep.
+template <typename T, bool Simd>
 struct LowerSolveBatchBody {
   const index_t* row_ptr;
   const index_t* col;
   const real_t* val;
-  const real_t* rhs;
-  real_t* x;
+  const T* rhs;
+  T* x;
   index_t k;
 
   void operator()(index_t i, index_t j0, index_t j1) const {
     const std::size_t b = static_cast<std::size_t>(row_ptr[i]);
     const std::size_t e = static_cast<std::size_t>(row_ptr[i + 1]);
     const std::size_t w = static_cast<std::size_t>(k);
-    const std::size_t c0 = static_cast<std::size_t>(j0);
-    const std::size_t c1 = static_cast<std::size_t>(j1);
-    real_t* xi = x + static_cast<std::size_t>(i) * w;
-    const real_t* ri = rhs + static_cast<std::size_t>(i) * w;
-    for (std::size_t j = c0; j < c1; ++j) xi[j] = ri[j];
-    for (std::size_t t = b; t < e; ++t) {
-      const real_t v = val[t];
-      const real_t* xd = x + static_cast<std::size_t>(col[t]) * w;
-      for (std::size_t j = c0; j < c1; ++j) xi[j] -= v * xd[j];
+    T* xi = x + static_cast<std::size_t>(i) * w;
+    const T* ri = rhs + static_cast<std::size_t>(i) * w;
+    real_t acc[kLaneChunk];
+    for (std::size_t c = static_cast<std::size_t>(j0);
+         c < static_cast<std::size_t>(j1); c += kLaneChunk) {
+      const std::size_t m =
+          std::min(kLaneChunk, static_cast<std::size_t>(j1) - c);
+      RTL_LANE_LOOP(acc[jj] = static_cast<real_t>(ri[c + jj]))
+      for (std::size_t t = b; t < e; ++t) {
+        const real_t v = val[t];
+        const T* xd = x + static_cast<std::size_t>(col[t]) * w + c;
+        RTL_LANE_LOOP(acc[jj] -= v * static_cast<real_t>(xd[jj]))
+      }
+      RTL_LANE_LOOP(xi[c + jj] = static_cast<T>(acc[jj]))
     }
   }
 
   void operator()(index_t i) const { (*this)(i, 0, k); }
 };
 
+template <typename T, bool Simd>
 struct UpperSolveBatchBody {
   const index_t* row_ptr;
   const index_t* col;
   const real_t* val;
-  const real_t* rhs;
-  real_t* x;
+  const T* rhs;
+  T* x;
   index_t n;
   index_t k;
 
@@ -112,22 +144,28 @@ struct UpperSolveBatchBody {
     const std::size_t b = static_cast<std::size_t>(row_ptr[i]);
     const std::size_t e = static_cast<std::size_t>(row_ptr[i + 1]);
     const std::size_t w = static_cast<std::size_t>(k);
-    const std::size_t c0 = static_cast<std::size_t>(j0);
-    const std::size_t c1 = static_cast<std::size_t>(j1);
-    real_t* xi = x + static_cast<std::size_t>(i) * w;
-    const real_t* ri = rhs + static_cast<std::size_t>(i) * w;
-    for (std::size_t j = c0; j < c1; ++j) xi[j] = ri[j];
-    for (std::size_t t = b + 1; t < e; ++t) {
-      const real_t v = val[t];
-      const real_t* xd = x + static_cast<std::size_t>(col[t]) * w;
-      for (std::size_t j = c0; j < c1; ++j) xi[j] -= v * xd[j];
-    }
+    T* xi = x + static_cast<std::size_t>(i) * w;
+    const T* ri = rhs + static_cast<std::size_t>(i) * w;
     const real_t d = val[b];
-    for (std::size_t j = c0; j < c1; ++j) xi[j] /= d;
+    real_t acc[kLaneChunk];
+    for (std::size_t c = static_cast<std::size_t>(j0);
+         c < static_cast<std::size_t>(j1); c += kLaneChunk) {
+      const std::size_t m =
+          std::min(kLaneChunk, static_cast<std::size_t>(j1) - c);
+      RTL_LANE_LOOP(acc[jj] = static_cast<real_t>(ri[c + jj]))
+      for (std::size_t t = b + 1; t < e; ++t) {
+        const real_t v = val[t];
+        const T* xd = x + static_cast<std::size_t>(col[t]) * w + c;
+        RTL_LANE_LOOP(acc[jj] -= v * static_cast<real_t>(xd[jj]))
+      }
+      RTL_LANE_LOOP(xi[c + jj] = static_cast<T>(acc[jj] / d))
+    }
   }
 
   void operator()(index_t it) const { (*this)(it, 0, k); }
 };
+
+#undef RTL_LANE_LOOP
 
 }  // namespace
 
@@ -213,7 +251,9 @@ BoundKernel::BoundKernel(std::shared_ptr<const Plan> plan,
       col_(matrix.col_idx().data()),
       val_(matrix.values().data()),
       n_(matrix.rows()),
-      kind_(kind) {}
+      nnz_(matrix.nnz()),
+      kind_(kind),
+      simd_(simd_bind_default()) {}
 
 void BoundKernel::solve(ThreadTeam& team, std::span<const real_t> rhs,
                         std::span<real_t> x) {
@@ -230,24 +270,54 @@ void BoundKernel::solve(ThreadTeam& team, std::span<const real_t> rhs,
   }
 }
 
-void BoundKernel::solve(ThreadTeam& team, ConstBatchView rhs, BatchView x) {
+template <typename T>
+void BoundKernel::solve_batch_impl(ThreadTeam& team,
+                                   BasicConstBatchView<T> rhs,
+                                   BasicBatchView<T> x) {
   assert(rhs.rows() == n_ && x.rows() == n_);
   assert(rhs.width() == x.width());
   const index_t k = rhs.width();
-  if (k == 1) {  // skip the k-strip arithmetic on the classic shape
+  // The SIMD/scalar body is chosen here — bind-time default, overridable
+  // through select_simd(); both flavors are instantiated so the bench's
+  // in-binary control pairs compare real codegen, not a recompile.
+  if (kind_ == KernelKind::kLowerSolve) {
+    if (simd_) {
+      plan_->execute_batch(team, k,
+                           LowerSolveBatchBody<T, true>{
+                               row_ptr_, col_, val_, rhs.data(), x.data(), k});
+    } else {
+      plan_->execute_batch(team, k,
+                           LowerSolveBatchBody<T, false>{
+                               row_ptr_, col_, val_, rhs.data(), x.data(), k});
+    }
+  } else {
+    if (simd_) {
+      plan_->execute_batch(
+          team, k,
+          UpperSolveBatchBody<T, true>{row_ptr_, col_, val_, rhs.data(),
+                                       x.data(), n_, k});
+    } else {
+      plan_->execute_batch(
+          team, k,
+          UpperSolveBatchBody<T, false>{row_ptr_, col_, val_, rhs.data(),
+                                        x.data(), n_, k});
+    }
+  }
+}
+
+void BoundKernel::solve(ThreadTeam& team, ConstBatchView rhs, BatchView x) {
+  if (rhs.width() == 1) {  // skip the k-strip arithmetic on the classic shape
     solve(team, {rhs.data(), static_cast<std::size_t>(n_)},
           {x.data(), static_cast<std::size_t>(n_)});
     return;
   }
-  if (kind_ == KernelKind::kLowerSolve) {
-    plan_->execute_batch(team, k,
-                         LowerSolveBatchBody{row_ptr_, col_, val_,
-                                             rhs.data(), x.data(), k});
-  } else {
-    plan_->execute_batch(team, k,
-                         UpperSolveBatchBody{row_ptr_, col_, val_,
-                                             rhs.data(), x.data(), n_, k});
-  }
+  solve_batch_impl<real_t>(team, rhs, x);
+}
+
+void BoundKernel::solve(ThreadTeam& team, ConstBatchViewF rhs, BatchViewF x) {
+  // No float single-RHS special case: width-1 float batches run the
+  // batched body (the chunked double accumulator IS the mixed path).
+  solve_batch_impl<float>(team, rhs, x);
 }
 
 IluApplyKernel::IluApplyKernel(BoundKernel lower_solve,
@@ -282,6 +352,17 @@ void IluApplyKernel::apply(ThreadTeam& team, ConstBatchView r, BatchView z) {
     tmp_.resize(size(), r.width());
   }
   BatchView tmp{tmp_.view().data(), size(), r.width()};
+  lower_.solve(team, r, tmp);
+  upper_.solve(team, tmp, z);
+}
+
+void IluApplyKernel::apply(ThreadTeam& team, ConstBatchViewF r,
+                           BatchViewF z) {
+  assert(r.width() == z.width());
+  if (tmpf_.rows() != size() || tmpf_.width() < r.width()) {
+    tmpf_.resize(size(), r.width());
+  }
+  BatchViewF tmp{tmpf_.view().data(), size(), r.width()};
   lower_.solve(team, r, tmp);
   upper_.solve(team, tmp, z);
 }

@@ -5,6 +5,7 @@
 
 #include "core/plan.hpp"
 #include "kernel/batch.hpp"
+#include "kernel/simd.hpp"
 #include "runtime/thread_team.hpp"
 #include "sparse/csr.hpp"
 
@@ -78,6 +79,36 @@ class BoundKernel {
   /// single-RHS solves.
   void solve(ThreadTeam& team, ConstBatchView rhs, BatchView x);
 
+  /// Mixed-precision batched solve: float32 *storage*, double
+  /// accumulation inside every row sweep (each lane's dot product is
+  /// formed in double; only the per-row results are rounded to float).
+  /// The matrix values stay double — this is a storage-bandwidth
+  /// optimization, not a float factorization.
+  void solve(ThreadTeam& team, ConstBatchViewF rhs, BatchViewF x);
+
+  /// Override the bind-time SIMD/scalar dispatch (no-op request to
+  /// enable when the library was compiled scalar). Same-precision
+  /// results are bit-for-bit identical across both dispatches; the
+  /// toggle exists for the in-binary scalar-vs-SIMD control pairs in
+  /// bench_batch and the property pins.
+  void select_simd(bool on) noexcept { simd_ = on && simd_compiled(); }
+  /// Which dispatch batched solves currently run.
+  [[nodiscard]] bool simd_enabled() const noexcept { return simd_; }
+
+  /// Bytes touched by one batched solve at width k with storage scalar
+  /// of `elem_bytes` — the roofline traffic model for bench records:
+  /// the CSR structure (row_ptr + cols) and values read once, plus per
+  /// lane the rhs read, the x write, and one dependency load per stored
+  /// entry. Assumes no cache reuse (worst-case traffic).
+  [[nodiscard]] std::size_t bytes_per_solve(
+      index_t k, std::size_t elem_bytes = sizeof(real_t)) const noexcept {
+    const auto n = static_cast<std::size_t>(n_);
+    const auto nz = static_cast<std::size_t>(nnz_);
+    const auto w = static_cast<std::size_t>(k);
+    return (n + 1 + nz) * sizeof(index_t) + nz * sizeof(real_t) +
+           (2 * n + nz) * w * elem_bytes;
+  }
+
   [[nodiscard]] KernelKind kind() const noexcept { return kind_; }
   /// System dimension the kernel is bound to.
   [[nodiscard]] index_t size() const noexcept { return n_; }
@@ -92,6 +123,10 @@ class BoundKernel {
   BoundKernel(std::shared_ptr<const Plan> plan, const CsrMatrix& matrix,
               KernelKind kind);
 
+  template <typename T>
+  void solve_batch_impl(ThreadTeam& team, BasicConstBatchView<T> rhs,
+                        BasicBatchView<T> x);
+
   std::shared_ptr<const Plan> plan_;
   // Pre-resolved CSR spans (stable: CSR arrays never move after binding;
   // values may be rewritten in place by re-factorization).
@@ -99,7 +134,10 @@ class BoundKernel {
   const index_t* col_ = nullptr;
   const real_t* val_ = nullptr;
   index_t n_ = 0;
+  index_t nnz_ = 0;
   KernelKind kind_;
+  // SIMD/scalar body dispatch, captured from simd_bind_default() at bind.
+  bool simd_ = false;
 };
 
 /// The fused ILU(k) application z <- U^{-1} L^{-1} r as one bound object:
@@ -123,6 +161,21 @@ class IluApplyKernel {
   /// Batched apply: z(:, j) <- U^{-1} L^{-1} r(:, j) for every column.
   void apply(ThreadTeam& team, ConstBatchView r, BatchView z);
 
+  /// Mixed-precision batched apply: float32 storage end-to-end (r, the
+  /// intermediate L^{-1} r, and z), double accumulation in both row
+  /// sweeps. This is the preconditioner half of the iterative-refinement
+  /// story: the Krylov driver keeps residuals/inner products in double.
+  void apply(ThreadTeam& team, ConstBatchViewF r, BatchViewF z);
+
+  /// Forwarded dispatch override for both composed kernels.
+  void select_simd(bool on) noexcept {
+    lower_.select_simd(on);
+    upper_.select_simd(on);
+  }
+  [[nodiscard]] bool simd_enabled() const noexcept {
+    return lower_.simd_enabled();
+  }
+
   [[nodiscard]] index_t size() const noexcept { return lower_.size(); }
   [[nodiscard]] BoundKernel& lower() noexcept { return lower_; }
   [[nodiscard]] BoundKernel& upper() noexcept { return upper_; }
@@ -133,6 +186,7 @@ class IluApplyKernel {
   BoundKernel lower_;
   BoundKernel upper_;
   BatchBuffer tmp_;  // intermediate L^{-1} r, grown to the widest batch seen
+  BatchBufferF tmpf_;  // float intermediate for the mixed-precision apply
 };
 
 }  // namespace rtl

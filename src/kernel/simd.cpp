@@ -1,0 +1,28 @@
+#include "kernel/simd.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace rtl {
+
+namespace {
+
+bool parse_simd_env() noexcept {
+  if (!simd_compiled()) return false;
+  const char* raw = std::getenv("RTL_SIMD");
+  if (raw == nullptr) return true;
+  std::string v(raw);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  return !(v == "0" || v == "off" || v == "false");
+}
+
+}  // namespace
+
+bool simd_bind_default() noexcept {
+  // Cached: the environment is read once, before any team is running.
+  static const bool enabled = parse_simd_env();
+  return enabled;
+}
+
+}  // namespace rtl

@@ -1,5 +1,7 @@
 #include "solver/ilu_preconditioner.hpp"
 
+#include "sparse/parallel_ops.hpp"
+
 namespace rtl {
 
 namespace {
@@ -52,6 +54,21 @@ void IluPreconditioner::apply(ThreadTeam& team, std::span<const real_t> r,
 void IluPreconditioner::apply_batch(ThreadTeam& team, ConstBatchView r,
                                     BatchView z) {
   solver_->solve(team, r, z);
+}
+
+void IluPreconditioner::apply_batch_mixed(ThreadTeam& team, ConstBatchView r,
+                                          BatchView z) {
+  const index_t n = r.rows();
+  const index_t k = r.width();
+  if (mixed_r_.rows() != n || mixed_r_.width() < k) {
+    mixed_r_.resize(n, k);
+    mixed_z_.resize(n, k);
+  }
+  BatchViewF rf{mixed_r_.view().data(), n, k};
+  BatchViewF zf{mixed_z_.view().data(), n, k};
+  par_demote(team, r, rf);
+  solver_->solve(team, static_cast<ConstBatchViewF>(rf), zf);
+  par_promote(team, static_cast<ConstBatchViewF>(zf), z);
 }
 
 }  // namespace rtl

@@ -50,6 +50,14 @@ class IluPreconditioner : public Preconditioner {
   /// synchronization once regardless of k.
   void apply_batch(ThreadTeam& team, ConstBatchView r, BatchView z) override;
 
+  /// The true float32-storage apply: demote r to float on the team, run
+  /// both triangular sweeps through the float kernel bodies (double
+  /// accumulation per lane), promote the float result back. Halves the
+  /// batch traffic of the two solves; the storage rounding is bounded by
+  /// the error model in docs/ARCHITECTURE.md.
+  void apply_batch_mixed(ThreadTeam& team, ConstBatchView r,
+                         BatchView z) override;
+
   [[nodiscard]] const IluFactorization& factors() const noexcept {
     return ilu_;
   }
@@ -68,6 +76,10 @@ class IluPreconditioner : public Preconditioner {
   std::shared_ptr<const Plan> factor_plan_;
   std::unique_ptr<ParallelTriangularSolver> solver_;
   std::vector<IluFactorization::Workspace> workspaces_;
+  // Float staging for the mixed-precision apply, grown to the widest
+  // batch seen (like IluApplyKernel's intermediate).
+  BatchBufferF mixed_r_;
+  BatchBufferF mixed_z_;
 };
 
 }  // namespace rtl

@@ -1,70 +1,56 @@
 #include "solver/krylov.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <vector>
 
+#include "kernel/spmv_kernel.hpp"
 #include "sparse/parallel_ops.hpp"
 
+// Every operator application in this file runs through bound kernels:
+// `SpMVKernel` for A (bound once per driver entry, validated structure,
+// pre-resolved pointers) and the preconditioner's kernels for M^{-1}.
+// There is deliberately no `par_spmv` call left in src/solver/ — the
+// full PCG/GMRES iteration is kernel-driven, single-RHS and batched.
 namespace rtl {
 
 namespace {
 
-/// z <- M^{-1} r, or z <- r when no preconditioner is supplied.
-void apply_precond(ThreadTeam& team, Preconditioner* m,
+/// z <- M^{-1} r, or z <- r when no preconditioner is supplied. With
+/// `mixed`, the application routes through the float32-storage path
+/// (`apply_batch_mixed`) as a width-1 batch; the caller's arithmetic
+/// around it stays double.
+void apply_precond(ThreadTeam& team, Preconditioner* m, bool mixed,
                    std::span<const real_t> r, std::span<real_t> z) {
-  if (m != nullptr) {
-    m->apply(team, r, z);
-  } else {
+  if (m == nullptr) {
     par_copy(team, r, z);
+    return;
+  }
+  if (mixed) {
+    m->apply_batch_mixed(team, ConstBatchView(r), BatchView(z));
+  } else {
+    m->apply(team, r, z);
   }
 }
 
-/// Shared column loop of the multi-RHS drivers: gather column j of the
-/// row-major batch, run the single-RHS solver, scatter the solution back.
-template <class Solve>
-std::vector<KrylovResult> solve_columns(const CsrMatrix& a,
-                                        ConstBatchView b, BatchView x,
-                                        Solve&& solve_one) {
-  const index_t n = a.rows();
-  assert(b.rows() == n && x.rows() == n);
-  assert(b.width() == x.width());
-  const index_t k = b.width();
-  std::vector<KrylovResult> results;
-  results.reserve(static_cast<std::size_t>(k));
-  std::vector<real_t> bj(static_cast<std::size_t>(n));
-  std::vector<real_t> xj(static_cast<std::size_t>(n));
-  for (index_t j = 0; j < k; ++j) {
-    b.get_column(j, bj);
-    x.get_column(j, xj);
-    results.push_back(solve_one(bj, xj));
-    x.set_column(j, xj);
+/// Batched z(:, j) <- M^{-1} r(:, j). Frozen columns are applied too
+/// (lanes are cheaper than a masked kernel sweep); their z lanes are
+/// scratch the caller never reads.
+void apply_precond_batch(ThreadTeam& team, Preconditioner* m, bool mixed,
+                         ConstBatchView r, BatchView z) {
+  if (m == nullptr) {
+    par_batch_copy(team, r, z);
+    return;
   }
-  return results;
+  if (mixed) {
+    m->apply_batch_mixed(team, r, z);
+  } else {
+    m->apply_batch(team, r, z);
+  }
 }
 
 }  // namespace
-
-std::vector<KrylovResult> pcg_solve(ThreadTeam& team, const CsrMatrix& a,
-                                    ConstBatchView b, BatchView x,
-                                    Preconditioner* precond,
-                                    const KrylovOptions& options) {
-  return solve_columns(a, b, x,
-                       [&](std::span<const real_t> bj, std::span<real_t> xj) {
-                         return pcg_solve(team, a, bj, xj, precond, options);
-                       });
-}
-
-std::vector<KrylovResult> gmres_solve(ThreadTeam& team, const CsrMatrix& a,
-                                      ConstBatchView b, BatchView x,
-                                      Preconditioner* precond,
-                                      const KrylovOptions& options) {
-  return solve_columns(a, b, x,
-                       [&](std::span<const real_t> bj, std::span<real_t> xj) {
-                         return gmres_solve(team, a, bj, xj, precond,
-                                            options);
-                       });
-}
 
 KrylovResult pcg_solve(ThreadTeam& team, const CsrMatrix& a,
                        std::span<const real_t> b, std::span<real_t> x,
@@ -74,13 +60,14 @@ KrylovResult pcg_solve(ThreadTeam& team, const CsrMatrix& a,
   assert(a.cols() == n);
   assert(static_cast<index_t>(b.size()) == n);
   assert(static_cast<index_t>(x.size()) == n);
+  const SpMVKernel spmv = SpMVKernel::bind(a);
   std::vector<real_t> r(static_cast<std::size_t>(n));
   std::vector<real_t> z(static_cast<std::size_t>(n));
   std::vector<real_t> p(static_cast<std::size_t>(n));
   std::vector<real_t> q(static_cast<std::size_t>(n));
 
   // r = b - A x
-  par_spmv(team, a, x, r);
+  spmv.apply(team, x, r);
   par_xpby(team, b, -1.0, r);
 
   const real_t bnorm = par_norm2(team, b);
@@ -94,12 +81,12 @@ KrylovResult pcg_solve(ThreadTeam& team, const CsrMatrix& a,
     return result;
   }
 
-  apply_precond(team, precond, r, z);
+  apply_precond(team, precond, options.mixed_precision, r, z);
   par_copy(team, z, p);
   real_t rho = par_dot(team, r, z);
 
   for (int it = 0; it < options.max_iterations; ++it) {
-    par_spmv(team, a, p, q);
+    spmv.apply(team, p, q);
     const real_t alpha = rho / par_dot(team, p, q);
     par_axpy(team, alpha, p, x);
     par_axpy(team, -alpha, q, r);
@@ -110,7 +97,7 @@ KrylovResult pcg_solve(ThreadTeam& team, const CsrMatrix& a,
       result.converged = true;
       break;
     }
-    apply_precond(team, precond, r, z);
+    apply_precond(team, precond, options.mixed_precision, r, z);
     const real_t rho_next = par_dot(team, r, z);
     const real_t beta = rho_next / rho;
     rho = rho_next;
@@ -119,6 +106,93 @@ KrylovResult pcg_solve(ThreadTeam& team, const CsrMatrix& a,
   }
   result.residual_norm = rnorm;
   return result;
+}
+
+std::vector<KrylovResult> pcg_solve(ThreadTeam& team, const CsrMatrix& a,
+                                    ConstBatchView b, BatchView x,
+                                    Preconditioner* precond,
+                                    const KrylovOptions& options) {
+  const index_t n = a.rows();
+  assert(a.cols() == n);
+  assert(b.rows() == n && x.rows() == n);
+  assert(b.width() == x.width());
+  const index_t k = b.width();
+  const auto ks = static_cast<std::size_t>(k);
+  const SpMVKernel spmv = SpMVKernel::bind(a);
+
+  BatchBuffer r(n, k), z(n, k), p(n, k), q(n, k);
+  std::vector<KrylovResult> results(ks);
+  // Columns iterate in lockstep; a column that converges (or exhausts
+  // its budget) is frozen — masked out of every state update — while
+  // the batch keeps sweeping. A frozen column's x/r/p are never touched
+  // again, so its trajectory is exactly the single-RHS driver's.
+  std::vector<unsigned char> active(ks, 1);
+  std::vector<real_t> target(ks), rnorm(ks), rho(ks), dots(ks), coef(ks);
+
+  // r = b - A x
+  spmv.apply(team, x, r.view());
+  std::fill(coef.begin(), coef.end(), -1.0);
+  par_batch_xpby(team, b, coef, r.view());
+
+  par_batch_norm2(team, b, target);
+  for (std::size_t j = 0; j < ks; ++j) {
+    target[j] = options.rtol * (target[j] > 0.0 ? target[j] : 1.0);
+  }
+  par_batch_norm2(team, r.view(), rnorm);
+  int n_active = 0;
+  for (std::size_t j = 0; j < ks; ++j) {
+    if (rnorm[j] <= target[j]) {
+      results[j].converged = true;
+      results[j].residual_norm = rnorm[j];
+      active[j] = 0;
+    } else {
+      ++n_active;
+    }
+  }
+  if (n_active == 0) return results;
+
+  apply_precond_batch(team, precond, options.mixed_precision, r.view(),
+                      z.view());
+  par_batch_copy(team, z.view(), p.view(), active.data());
+  par_batch_dot(team, r.view(), z.view(), rho);
+
+  for (int it = 0; it < options.max_iterations && n_active > 0; ++it) {
+    spmv.apply(team, p.view(), q.view());
+    par_batch_dot(team, p.view(), q.view(), dots);
+    for (std::size_t j = 0; j < ks; ++j) {
+      coef[j] = active[j] ? rho[j] / dots[j] : 0.0;  // alpha
+    }
+    par_batch_axpy(team, coef, p.view(), x, active.data());
+    for (std::size_t j = 0; j < ks; ++j) coef[j] = -coef[j];
+    par_batch_axpy(team, coef, q.view(), r.view(), active.data());
+
+    par_batch_norm2(team, r.view(), rnorm);
+    for (std::size_t j = 0; j < ks; ++j) {
+      if (!active[j]) continue;
+      ++results[j].iterations;
+      if (rnorm[j] <= target[j]) {
+        results[j].converged = true;
+        results[j].residual_norm = rnorm[j];
+        active[j] = 0;
+        --n_active;
+      }
+    }
+    if (n_active == 0) break;
+
+    apply_precond_batch(team, precond, options.mixed_precision, r.view(),
+                        z.view());
+    par_batch_dot(team, r.view(), z.view(), dots);  // rho_next
+    for (std::size_t j = 0; j < ks; ++j) {
+      coef[j] = active[j] ? dots[j] / rho[j] : 0.0;  // beta
+      if (active[j]) rho[j] = dots[j];
+    }
+    // p = z + beta p
+    par_batch_xpby(team, z.view(), coef, p.view(), active.data());
+  }
+  for (std::size_t j = 0; j < ks; ++j) {
+    if (active[j]) results[j].residual_norm = rnorm[j];
+  }
+  return results;
 }
 
 KrylovResult gmres_solve(ThreadTeam& team, const CsrMatrix& a,
@@ -130,6 +204,7 @@ KrylovResult gmres_solve(ThreadTeam& team, const CsrMatrix& a,
   assert(static_cast<index_t>(b.size()) == n);
   assert(static_cast<index_t>(x.size()) == n);
   const int m = options.restart;
+  const SpMVKernel spmv = SpMVKernel::bind(a);
 
   // Krylov basis V (m+1 vectors) + Hessenberg H ((m+1) x m, column major
   // by iteration), Givens rotations (cs, sn), residual vector g.
@@ -147,7 +222,7 @@ KrylovResult gmres_solve(ThreadTeam& team, const CsrMatrix& a,
   std::vector<real_t> work2(static_cast<std::size_t>(n));
 
   // Convergence target in the *preconditioned* norm.
-  apply_precond(team, precond, b, work);
+  apply_precond(team, precond, options.mixed_precision, b, work);
   const real_t pb_norm = par_norm2(team, work);
   const real_t target = options.rtol * (pb_norm > 0.0 ? pb_norm : 1.0);
 
@@ -155,9 +230,9 @@ KrylovResult gmres_solve(ThreadTeam& team, const CsrMatrix& a,
   real_t beta = 0.0;
   while (result.iterations < options.max_iterations) {
     // r = M^{-1} (b - A x)
-    par_spmv(team, a, x, work);
+    spmv.apply(team, x, work);
     par_xpby(team, b, -1.0, work);
-    apply_precond(team, precond, work, basis[0]);
+    apply_precond(team, precond, options.mixed_precision, work, basis[0]);
     beta = par_norm2(team, basis[0]);
     if (beta <= target) {
       result.converged = true;
@@ -171,8 +246,8 @@ KrylovResult gmres_solve(ThreadTeam& team, const CsrMatrix& a,
     for (; j < m && result.iterations < options.max_iterations; ++j) {
       ++result.iterations;
       // w = M^{-1} A v_j
-      par_spmv(team, a, basis[static_cast<std::size_t>(j)], work2);
-      apply_precond(team, precond, work2,
+      spmv.apply(team, basis[static_cast<std::size_t>(j)], work2);
+      apply_precond(team, precond, options.mixed_precision, work2,
                     basis[static_cast<std::size_t>(j) + 1]);
       auto& w = basis[static_cast<std::size_t>(j) + 1];
       // Modified Gram-Schmidt.
@@ -234,6 +309,294 @@ KrylovResult gmres_solve(ThreadTeam& team, const CsrMatrix& a,
     result.residual_norm = beta <= target ? beta : result.residual_norm;
   }
   return result;
+}
+
+namespace {
+
+/// Per-column state of the lockstep batched GMRES. Each column owns its
+/// contiguous basis and Hessenberg data and walks the exact state
+/// machine of the single-RHS driver; only the operator applications —
+/// one batched SpMV plus one batched preconditioner apply per tick —
+/// are shared across columns. Per-column vector arithmetic (MGS,
+/// rotations, the solution update) runs on contiguous gathered columns
+/// with the same par_* calls as the single driver, which is what makes
+/// each column's trajectory bit-for-bit identical to solving it alone.
+struct GmresColumn {
+  enum class Phase { kStart, kArnoldi, kDone };
+
+  Phase phase = Phase::kStart;
+  int j = 0;             // current Arnoldi index within the cycle
+  real_t beta = 0.0;     // last cycle-start residual norm
+  real_t target = 0.0;   // preconditioned-norm convergence target
+  std::vector<std::vector<real_t>> basis;
+  std::vector<real_t> h, cs, sn, g;
+  std::vector<real_t> bcol;  // this column of b, gathered once
+  KrylovResult res;
+};
+
+}  // namespace
+
+std::vector<KrylovResult> gmres_solve(ThreadTeam& team, const CsrMatrix& a,
+                                      ConstBatchView b, BatchView x,
+                                      Preconditioner* precond,
+                                      const KrylovOptions& options) {
+  const index_t n = a.rows();
+  assert(a.cols() == n);
+  assert(b.rows() == n && x.rows() == n);
+  assert(b.width() == x.width());
+  const index_t k = b.width();
+  const auto ks = static_cast<std::size_t>(k);
+  const int m = options.restart;
+  const auto nz = static_cast<std::size_t>(n);
+  const SpMVKernel spmv = SpMVKernel::bind(a);
+
+  BatchBuffer in(n, k), mid(n, k), out(n, k);
+  std::vector<real_t> colbuf(nz);
+  std::vector<GmresColumn> cols(ks);
+  for (std::size_t c = 0; c < ks; ++c) {
+    auto& col = cols[c];
+    col.basis.assign(static_cast<std::size_t>(m) + 1,
+                     std::vector<real_t>(nz));
+    col.h.assign(static_cast<std::size_t>((m + 1) * m), 0.0);
+    col.cs.assign(static_cast<std::size_t>(m), 0.0);
+    col.sn.assign(static_cast<std::size_t>(m), 0.0);
+    col.g.assign(static_cast<std::size_t>(m) + 1, 0.0);
+    col.bcol.resize(nz);
+    b.get_column(static_cast<index_t>(c), col.bcol);
+  }
+
+  // Convergence targets in the preconditioned norm: one batched apply of
+  // M^{-1} to all of b, then per-column norms of the gathered results.
+  apply_precond_batch(team, precond, options.mixed_precision, b, out.view());
+  for (std::size_t c = 0; c < ks; ++c) {
+    out.view().get_column(static_cast<index_t>(c), colbuf);
+    const real_t pb_norm = par_norm2(team, colbuf);
+    cols[c].target = options.rtol * (pb_norm > 0.0 ? pb_norm : 1.0);
+  }
+
+  const auto H = [m](GmresColumn& col, int i, int j) -> real_t& {
+    return col.h[static_cast<std::size_t>(j * (m + 1) + i)];
+  };
+
+  // Columns needing no work (max_iterations == 0) are Done immediately.
+  for (auto& col : cols) {
+    if (col.res.iterations >= options.max_iterations) {
+      col.phase = GmresColumn::Phase::kDone;
+    }
+  }
+
+  auto all_done = [&] {
+    return std::all_of(cols.begin(), cols.end(), [](const GmresColumn& c) {
+      return c.phase == GmresColumn::Phase::kDone;
+    });
+  };
+
+  while (!all_done()) {
+    // --- Tick stage 1: every live column requests one operator
+    // application. Start-phase columns feed x (for the cycle-start
+    // residual), Arnoldi columns feed their current basis vector.
+    for (std::size_t c = 0; c < ks; ++c) {
+      auto& col = cols[c];
+      if (col.phase == GmresColumn::Phase::kDone) continue;
+      if (col.phase == GmresColumn::Phase::kStart) {
+        x.get_column(static_cast<index_t>(c), colbuf);
+        in.view().set_column(static_cast<index_t>(c), colbuf);
+      } else {
+        in.view().set_column(static_cast<index_t>(c),
+                             col.basis[static_cast<std::size_t>(col.j)]);
+      }
+    }
+    // --- Tick stage 2: one batched SpMV for all columns.
+    spmv.apply(team, in.view(), mid.view());
+    // --- Tick stage 3: Start columns turn A·x into the residual
+    // b - A·x (same par_xpby as the single driver, on the gathered
+    // column).
+    for (std::size_t c = 0; c < ks; ++c) {
+      auto& col = cols[c];
+      if (col.phase != GmresColumn::Phase::kStart) continue;
+      mid.view().get_column(static_cast<index_t>(c), colbuf);
+      par_xpby(team, col.bcol, -1.0, colbuf);
+      mid.view().set_column(static_cast<index_t>(c), colbuf);
+    }
+    // --- Tick stage 4: one batched preconditioner apply for all
+    // columns (the satellite point: multi-RHS GMRES actually reaches
+    // apply_batch / the fused IluApplyKernel sweep).
+    apply_precond_batch(team, precond, options.mixed_precision, mid.view(),
+                        out.view());
+    // --- Tick stage 5: per-column post-processing, mirroring the
+    // single-RHS driver statement for statement.
+    for (std::size_t c = 0; c < ks; ++c) {
+      auto& col = cols[c];
+      if (col.phase == GmresColumn::Phase::kDone) continue;
+      if (col.phase == GmresColumn::Phase::kStart) {
+        auto& v0 = col.basis[0];
+        out.view().get_column(static_cast<index_t>(c), v0);
+        col.beta = par_norm2(team, v0);
+        if (col.beta <= col.target) {
+          col.res.converged = true;
+          col.phase = GmresColumn::Phase::kDone;
+          continue;
+        }
+        par_scale(team, 1.0 / col.beta, v0);
+        std::fill(col.g.begin(), col.g.end(), 0.0);
+        col.g[0] = col.beta;
+        col.j = 0;
+        col.phase = GmresColumn::Phase::kArnoldi;
+        continue;
+      }
+      // Arnoldi step j for this column.
+      const int j = col.j;
+      ++col.res.iterations;
+      auto& w = col.basis[static_cast<std::size_t>(j) + 1];
+      out.view().get_column(static_cast<index_t>(c), w);
+      // Modified Gram-Schmidt.
+      for (int i = 0; i <= j; ++i) {
+        const real_t hij =
+            par_dot(team, w, col.basis[static_cast<std::size_t>(i)]);
+        H(col, i, j) = hij;
+        par_axpy(team, -hij, col.basis[static_cast<std::size_t>(i)], w);
+      }
+      const real_t hnext = par_norm2(team, w);
+      H(col, j + 1, j) = hnext;
+      if (hnext > 0.0) par_scale(team, 1.0 / hnext, w);
+
+      for (int i = 0; i < j; ++i) {
+        const real_t t = col.cs[static_cast<std::size_t>(i)] * H(col, i, j) +
+                         col.sn[static_cast<std::size_t>(i)] * H(col, i + 1, j);
+        H(col, i + 1, j) =
+            -col.sn[static_cast<std::size_t>(i)] * H(col, i, j) +
+            col.cs[static_cast<std::size_t>(i)] * H(col, i + 1, j);
+        H(col, i, j) = t;
+      }
+      const real_t denom = std::hypot(H(col, j, j), H(col, j + 1, j));
+      col.cs[static_cast<std::size_t>(j)] =
+          denom == 0.0 ? 1.0 : H(col, j, j) / denom;
+      col.sn[static_cast<std::size_t>(j)] =
+          denom == 0.0 ? 0.0 : H(col, j + 1, j) / denom;
+      H(col, j, j) = denom;
+      H(col, j + 1, j) = 0.0;
+      col.g[static_cast<std::size_t>(j) + 1] =
+          -col.sn[static_cast<std::size_t>(j)] *
+          col.g[static_cast<std::size_t>(j)];
+      col.g[static_cast<std::size_t>(j)] =
+          col.cs[static_cast<std::size_t>(j)] *
+          col.g[static_cast<std::size_t>(j)];
+
+      const bool inner_break =
+          std::abs(col.g[static_cast<std::size_t>(j) + 1]) <= col.target;
+      col.j = j + 1;
+      const bool cycle_over =
+          inner_break || col.j >= m ||
+          col.res.iterations >= options.max_iterations;
+      if (!cycle_over) continue;
+
+      // End of cycle: back-substitute H y = g, update x's column, check.
+      const int jf = col.j;
+      std::vector<real_t> y(static_cast<std::size_t>(jf), 0.0);
+      for (int i = jf - 1; i >= 0; --i) {
+        real_t sum = col.g[static_cast<std::size_t>(i)];
+        for (int t = i + 1; t < jf; ++t) {
+          sum -= H(col, i, t) * y[static_cast<std::size_t>(t)];
+        }
+        y[static_cast<std::size_t>(i)] = sum / H(col, i, i);
+      }
+      x.get_column(static_cast<index_t>(c), colbuf);
+      for (int i = 0; i < jf; ++i) {
+        par_axpy(team, y[static_cast<std::size_t>(i)],
+                 col.basis[static_cast<std::size_t>(i)], colbuf);
+      }
+      x.set_column(static_cast<index_t>(c), colbuf);
+      col.res.residual_norm = std::abs(col.g[static_cast<std::size_t>(jf)]);
+      if (col.res.residual_norm <= col.target) {
+        col.res.converged = true;
+        col.phase = GmresColumn::Phase::kDone;
+      } else if (col.res.iterations >= options.max_iterations) {
+        col.phase = GmresColumn::Phase::kDone;
+      } else {
+        col.phase = GmresColumn::Phase::kStart;
+      }
+    }
+  }
+
+  std::vector<KrylovResult> results(ks);
+  for (std::size_t c = 0; c < ks; ++c) {
+    auto& col = cols[c];
+    if (col.res.converged && col.res.residual_norm == 0.0) {
+      col.res.residual_norm =
+          col.beta <= col.target ? col.beta : col.res.residual_norm;
+    }
+    results[c] = col.res;
+  }
+  return results;
+}
+
+namespace {
+
+template <class SolveFn>
+RefinementResult refined_solve(ThreadTeam& team, const SpMVKernel& spmv,
+                               std::span<const real_t> b,
+                               std::span<real_t> x, double outer_rtol,
+                               int max_cycles, SolveFn&& solve_one) {
+  const auto n = b.size();
+  std::vector<real_t> r(n), d(n);
+  RefinementResult out;
+  const real_t bnorm = par_norm2(team, b);
+  const real_t target = outer_rtol * (bnorm > 0.0 ? bnorm : 1.0);
+
+  // True residual in double — this is what bounds the final error
+  // regardless of the inner solve's precision.
+  spmv.apply(team, x, r);
+  par_xpby(team, b, -1.0, r);
+  out.residual_norm = par_norm2(team, r);
+  if (out.residual_norm <= target) {
+    out.converged = true;
+    return out;
+  }
+  for (int cycle = 0; cycle < max_cycles; ++cycle) {
+    std::fill(d.begin(), d.end(), 0.0);
+    const KrylovResult inner = solve_one(std::span<const real_t>(r), d);
+    ++out.cycles;
+    out.total_iterations += inner.iterations;
+    par_axpy(team, 1.0, d, x);
+    spmv.apply(team, x, r);
+    par_xpby(team, b, -1.0, r);
+    out.residual_norm = par_norm2(team, r);
+    if (out.residual_norm <= target) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RefinementResult refined_pcg_solve(ThreadTeam& team, const CsrMatrix& a,
+                                   std::span<const real_t> b,
+                                   std::span<real_t> x,
+                                   Preconditioner* precond,
+                                   const KrylovOptions& inner_options,
+                                   double outer_rtol, int max_cycles) {
+  const SpMVKernel spmv = SpMVKernel::bind(a);
+  return refined_solve(team, spmv, b, x, outer_rtol, max_cycles,
+                       [&](std::span<const real_t> r, std::span<real_t> d) {
+                         return pcg_solve(team, a, r, d, precond,
+                                          inner_options);
+                       });
+}
+
+RefinementResult refined_gmres_solve(ThreadTeam& team, const CsrMatrix& a,
+                                     std::span<const real_t> b,
+                                     std::span<real_t> x,
+                                     Preconditioner* precond,
+                                     const KrylovOptions& inner_options,
+                                     double outer_rtol, int max_cycles) {
+  const SpMVKernel spmv = SpMVKernel::bind(a);
+  return refined_solve(team, spmv, b, x, outer_rtol, max_cycles,
+                       [&](std::span<const real_t> r, std::span<real_t> d) {
+                         return gmres_solve(team, a, r, d, precond,
+                                            inner_options);
+                       });
 }
 
 }  // namespace rtl

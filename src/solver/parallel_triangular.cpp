@@ -59,4 +59,9 @@ void ParallelTriangularSolver::solve(ThreadTeam& team, ConstBatchView rhs,
   kernel_.apply(team, rhs, y);
 }
 
+void ParallelTriangularSolver::solve(ThreadTeam& team, ConstBatchViewF rhs,
+                                     BatchViewF y) {
+  kernel_.apply(team, rhs, y);
+}
+
 }  // namespace rtl

@@ -53,6 +53,10 @@ class ParallelTriangularSolver {
   void solve_upper(ThreadTeam& team, ConstBatchView rhs, BatchView y);
   void solve(ThreadTeam& team, ConstBatchView rhs, BatchView y);
 
+  /// Mixed-precision batched apply: float32 storage, double accumulation
+  /// in the kernel row sweeps (see BoundKernel).
+  void solve(ThreadTeam& team, ConstBatchViewF rhs, BatchViewF y);
+
   /// The bound kernels, exposed for instrumentation, benches and tests.
   [[nodiscard]] IluApplyKernel& kernel() noexcept { return kernel_; }
   [[nodiscard]] const Plan& lower_plan() const noexcept {

@@ -92,6 +92,124 @@ real_t par_norm2(ThreadTeam& team, std::span<const real_t> x) {
   return std::sqrt(par_dot(team, x, x));
 }
 
+namespace {
+
+/// Shared shape of the masked batched elementwise updates: rows are
+/// block-partitioned exactly like the single-vector ops; within a row the
+/// column loop skips frozen lanes. Each active lane's per-element op is
+/// identical to the single-vector op, so per-column results match
+/// bit-for-bit.
+template <class PerElement>
+void batch_elementwise(ThreadTeam& team, index_t n, index_t k,
+                       const unsigned char* active, PerElement&& op) {
+  team.parallel_blocks(n, [&](int, index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) {
+      for (index_t j = 0; j < k; ++j) {
+        if (active == nullptr || active[static_cast<std::size_t>(j)]) {
+          op(i, j);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void par_batch_axpy(ThreadTeam& team, std::span<const real_t> a,
+                    ConstBatchView x, BatchView y,
+                    const unsigned char* active) {
+  assert(x.rows() == y.rows() && x.width() == y.width());
+  assert(static_cast<index_t>(a.size()) == x.width());
+  batch_elementwise(team, x.rows(), x.width(), active,
+                    [&](index_t i, index_t j) {
+                      y.at(i, j) += a[static_cast<std::size_t>(j)] * x.at(i, j);
+                    });
+}
+
+void par_batch_xpby(ThreadTeam& team, ConstBatchView x,
+                    std::span<const real_t> b, BatchView y,
+                    const unsigned char* active) {
+  assert(x.rows() == y.rows() && x.width() == y.width());
+  assert(static_cast<index_t>(b.size()) == x.width());
+  batch_elementwise(team, x.rows(), x.width(), active,
+                    [&](index_t i, index_t j) {
+                      y.at(i, j) = x.at(i, j) +
+                                   b[static_cast<std::size_t>(j)] * y.at(i, j);
+                    });
+}
+
+void par_batch_copy(ThreadTeam& team, ConstBatchView src, BatchView dst,
+                    const unsigned char* active) {
+  assert(src.rows() == dst.rows() && src.width() == dst.width());
+  batch_elementwise(team, src.rows(), src.width(), active,
+                    [&](index_t i, index_t j) {
+                      dst.at(i, j) = src.at(i, j);
+                    });
+}
+
+void par_batch_dot(ThreadTeam& team, ConstBatchView x, ConstBatchView y,
+                   std::span<real_t> out) {
+  assert(x.rows() == y.rows() && x.width() == y.width());
+  assert(static_cast<index_t>(out.size()) == x.width());
+  const std::size_t k = static_cast<std::size_t>(x.width());
+  // One cache-line-padded strip of k partials per thread; each thread
+  // accumulates rows in ascending order, the caller reduces threads in
+  // tid order — the same shape as par_dot, column by column.
+  const std::size_t stride =
+      (k * sizeof(real_t) + cache_line_size - 1) / cache_line_size *
+      (cache_line_size / sizeof(real_t));
+  std::vector<real_t> partial(static_cast<std::size_t>(team.size()) * stride,
+                              0.0);
+  team.parallel_blocks(x.rows(), [&](int tid, index_t b, index_t e) {
+    real_t* s = partial.data() + static_cast<std::size_t>(tid) * stride;
+    for (index_t i = b; i < e; ++i) {
+      const real_t* xi = x.row(i);
+      const real_t* yi = y.row(i);
+      RTL_SIMD_LOOP
+      for (std::size_t j = 0; j < k; ++j) s[j] += xi[j] * yi[j];
+    }
+  });
+  for (std::size_t j = 0; j < k; ++j) {
+    real_t total = 0.0;
+    for (int t = 0; t < team.size(); ++t) {
+      total += partial[static_cast<std::size_t>(t) * stride + j];
+    }
+    out[j] = total;
+  }
+}
+
+void par_batch_norm2(ThreadTeam& team, ConstBatchView x,
+                     std::span<real_t> out) {
+  par_batch_dot(team, x, x, out);
+  for (auto& v : out) v = std::sqrt(v);
+}
+
+void par_demote(ThreadTeam& team, ConstBatchView src, BatchViewF dst) {
+  assert(src.rows() == dst.rows() && src.width() == dst.width());
+  const real_t* s = src.data();
+  float* d = dst.data();
+  const std::size_t w = static_cast<std::size_t>(src.width());
+  team.parallel_blocks(src.rows(), [=](int, index_t b, index_t e) {
+    const std::size_t lo = static_cast<std::size_t>(b) * w;
+    const std::size_t hi = static_cast<std::size_t>(e) * w;
+    RTL_SIMD_LOOP
+    for (std::size_t t = lo; t < hi; ++t) d[t] = static_cast<float>(s[t]);
+  });
+}
+
+void par_promote(ThreadTeam& team, ConstBatchViewF src, BatchView dst) {
+  assert(src.rows() == dst.rows() && src.width() == dst.width());
+  const float* s = src.data();
+  real_t* d = dst.data();
+  const std::size_t w = static_cast<std::size_t>(src.width());
+  team.parallel_blocks(src.rows(), [=](int, index_t b, index_t e) {
+    const std::size_t lo = static_cast<std::size_t>(b) * w;
+    const std::size_t hi = static_cast<std::size_t>(e) * w;
+    RTL_SIMD_LOOP
+    for (std::size_t t = lo; t < hi; ++t) d[t] = static_cast<real_t>(s[t]);
+  });
+}
+
 void par_spmv(ThreadTeam& team, const CsrMatrix& a, std::span<const real_t> x,
               std::span<real_t> y) {
   assert(static_cast<index_t>(x.size()) == a.cols());

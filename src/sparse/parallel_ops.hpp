@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "kernel/batch.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/types.hpp"
 #include "sparse/csr.hpp"
@@ -12,6 +13,14 @@
 /// inner products, and sparse matrix-vector products — divide the indices
 /// 1..n into p contiguous groups of roughly equal size, group i going to
 /// processor i. These kernels follow that static block decomposition.
+///
+/// The batched (`par_batch_*`) variants run the same update on every
+/// column of a row-major n×k batch in one parallel region, with
+/// per-column coefficients and an optional per-column active mask (the
+/// lockstep multi-RHS Krylov drivers freeze converged columns). They use
+/// the *same* row partition and per-thread accumulation order as the
+/// single-vector ops, so each column's result — including the reduced
+/// dot products — is bit-for-bit the single-vector op on that column.
 namespace rtl {
 
 /// y <- a*x + y over the team.
@@ -43,5 +52,36 @@ void par_scale(ThreadTeam& team, real_t a, std::span<real_t> x);
 /// y <- A x with rows block-partitioned over the team.
 void par_spmv(ThreadTeam& team, const CsrMatrix& a, std::span<const real_t> x,
               std::span<real_t> y);
+
+/// y(:, j) <- a[j]*x(:, j) + y(:, j) for every column j with
+/// `active == nullptr || active[j]`.
+void par_batch_axpy(ThreadTeam& team, std::span<const real_t> a,
+                    ConstBatchView x, BatchView y,
+                    const unsigned char* active = nullptr);
+
+/// y(:, j) <- x(:, j) + b[j]*y(:, j) for the active columns.
+void par_batch_xpby(ThreadTeam& team, ConstBatchView x,
+                    std::span<const real_t> b, BatchView y,
+                    const unsigned char* active = nullptr);
+
+/// dst(:, j) <- src(:, j) for the active columns.
+void par_batch_copy(ThreadTeam& team, ConstBatchView src, BatchView dst,
+                    const unsigned char* active = nullptr);
+
+/// out[j] <- <x(:, j), y(:, j)> for every column (mask-free: the extra
+/// dots of frozen columns are cheaper than a masked inner loop, and the
+/// caller simply ignores them). Per-thread partials are padded per
+/// thread and reduced in thread order, exactly like `par_dot`.
+void par_batch_dot(ThreadTeam& team, ConstBatchView x, ConstBatchView y,
+                   std::span<real_t> out);
+
+/// out[j] <- ||x(:, j)||_2 for every column.
+void par_batch_norm2(ThreadTeam& team, ConstBatchView x,
+                     std::span<real_t> out);
+
+/// Team-parallel storage-precision conversion for the mixed path:
+/// round-to-nearest demotion to float32 / exact promotion to double.
+void par_demote(ThreadTeam& team, ConstBatchView src, BatchViewF dst);
+void par_promote(ThreadTeam& team, ConstBatchViewF src, BatchView dst);
 
 }  // namespace rtl

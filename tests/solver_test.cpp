@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "solver/ilu_preconditioner.hpp"
@@ -286,6 +287,288 @@ TEST(PcgTest, PreconditionedPcgConvergesFaster) {
   ASSERT_TRUE(plain.converged);
   ASSERT_TRUE(pc.converged);
   EXPECT_LT(pc.iterations, plain.iterations);
+}
+
+// ---------------------------------------------------------------------
+// Batched multi-RHS drivers: columns iterate in lockstep through ONE
+// batched SpMV + ONE batched preconditioner application per iteration,
+// but each column's trajectory is pinned bit-for-bit to the single-RHS
+// driver run on that column alone.
+// ---------------------------------------------------------------------
+
+/// SPD 5-pt Laplacian on an nx × nx grid.
+CsrMatrix laplacian(index_t nx) {
+  CooBuilder coo(nx * nx, nx * nx);
+  for (index_t j = 0; j < nx; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t row = j * nx + i;
+      coo.add(row, row, 4.0);
+      if (i > 0) coo.add(row, row - 1, -1.0);
+      if (i + 1 < nx) coo.add(row, row + 1, -1.0);
+      if (j > 0) coo.add(row, row - nx, -1.0);
+      if (j + 1 < nx) coo.add(row, row + nx, -1.0);
+    }
+  }
+  return coo.build();
+}
+
+/// k right-hand sides with distinct scales (distinct iteration counts).
+BatchBuffer scaled_rhs_batch(std::span<const real_t> base, index_t k) {
+  const index_t n = static_cast<index_t>(base.size());
+  BatchBuffer b(n, k);
+  for (index_t j = 0; j < k; ++j) {
+    std::vector<real_t> col(base.begin(), base.end());
+    for (index_t i = 0; i < n; ++i) {
+      col[static_cast<std::size_t>(i)] *=
+          1.0 + 0.5 * static_cast<real_t>(j) +
+          0.01 * static_cast<real_t>(i % 7);
+    }
+    b.set_column(j, col);
+  }
+  return b;
+}
+
+/// Delegating preconditioner that records how the driver applied it: the
+/// batched drivers must route through `apply_batch` (or the mixed
+/// variant) at full batch width, never through column-by-column singles.
+class CountingPreconditioner : public Preconditioner {
+ public:
+  explicit CountingPreconditioner(Preconditioner& inner) : inner_(inner) {}
+
+  void apply(ThreadTeam& team, std::span<const real_t> r,
+             std::span<real_t> z) override {
+    ++single_applies;
+    inner_.apply(team, r, z);
+  }
+  void apply_batch(ThreadTeam& team, ConstBatchView r, BatchView z) override {
+    ++batch_applies;
+    max_width = std::max(max_width, r.width());
+    inner_.apply_batch(team, r, z);
+  }
+  void apply_batch_mixed(ThreadTeam& team, ConstBatchView r,
+                         BatchView z) override {
+    ++mixed_applies;
+    max_width = std::max(max_width, r.width());
+    inner_.apply_batch_mixed(team, r, z);
+  }
+
+  int single_applies = 0;
+  int batch_applies = 0;
+  int mixed_applies = 0;
+  index_t max_width = 0;
+
+ private:
+  Preconditioner& inner_;
+};
+
+TEST(BatchedKrylovTest, PcgColumnsAreBitForBitTheSingleRhsDriver) {
+  ThreadTeam team(4);
+  const auto a = laplacian(15);
+  const index_t n = a.rows();
+  const index_t k = 4;
+  IluPreconditioner precond(team, a, 0);
+  precond.factor(team, a);
+
+  const std::vector<real_t> base(static_cast<std::size_t>(n), 1.0);
+  const BatchBuffer b = scaled_rhs_batch(base, k);
+  BatchBuffer x(n, k);
+  for (index_t j = 0; j < k; ++j) {
+    x.set_column(j, std::vector<real_t>(static_cast<std::size_t>(n), 0.0));
+  }
+  KrylovOptions opt;
+  opt.rtol = 1e-8;
+  opt.max_iterations = 300;
+  const auto results = pcg_solve(team, a, b.view(), x.view(), &precond, opt);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(k));
+
+  std::vector<real_t> colb(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < k; ++j) {
+    b.get_column(j, colb);
+    std::vector<real_t> colx(static_cast<std::size_t>(n), 0.0);
+    const auto single = pcg_solve(team, a, colb, colx, &precond, opt);
+    const auto& batched = results[static_cast<std::size_t>(j)];
+    EXPECT_TRUE(batched.converged) << "col=" << j;
+    EXPECT_EQ(batched.converged, single.converged) << "col=" << j;
+    EXPECT_EQ(batched.iterations, single.iterations) << "col=" << j;
+    EXPECT_EQ(batched.residual_norm, single.residual_norm) << "col=" << j;
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(x.view().at(i, j), colx[static_cast<std::size_t>(i)])
+          << "col=" << j << " row=" << i;
+    }
+  }
+}
+
+TEST(BatchedKrylovTest, GmresColumnsAreBitForBitTheSingleRhsDriver) {
+  ThreadTeam team(4);
+  const auto sys = five_point(15, 15);
+  const index_t n = sys.a.rows();
+  const index_t k = 3;
+  IluPreconditioner precond(team, sys.a, 0);
+  precond.factor(team, sys.a);
+
+  const BatchBuffer b = scaled_rhs_batch(sys.rhs, k);
+  BatchBuffer x(n, k);
+  for (index_t j = 0; j < k; ++j) {
+    x.set_column(j, std::vector<real_t>(static_cast<std::size_t>(n), 0.0));
+  }
+  KrylovOptions opt;
+  opt.rtol = 1e-8;
+  opt.max_iterations = 200;
+  const auto results =
+      gmres_solve(team, sys.a, b.view(), x.view(), &precond, opt);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(k));
+
+  std::vector<real_t> colb(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < k; ++j) {
+    b.get_column(j, colb);
+    std::vector<real_t> colx(static_cast<std::size_t>(n), 0.0);
+    const auto single = gmres_solve(team, sys.a, colb, colx, &precond, opt);
+    const auto& batched = results[static_cast<std::size_t>(j)];
+    EXPECT_TRUE(batched.converged) << "col=" << j;
+    EXPECT_EQ(batched.converged, single.converged) << "col=" << j;
+    EXPECT_EQ(batched.iterations, single.iterations) << "col=" << j;
+    EXPECT_EQ(batched.residual_norm, single.residual_norm) << "col=" << j;
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(x.view().at(i, j), colx[static_cast<std::size_t>(i)])
+          << "col=" << j << " row=" << i;
+    }
+  }
+}
+
+TEST(BatchedKrylovTest, BatchedDriversReachApplyBatchAtFullWidth) {
+  // Regression pin for the multi-RHS fix: the previous drivers looped
+  // column-by-column single solves, so `Preconditioner::apply_batch`
+  // was never reached and the per-wavefront synchronization was paid k
+  // times. The lockstep drivers must apply the preconditioner batched at
+  // the full width and never fall back to single applies.
+  ThreadTeam team(2);
+  const auto a = laplacian(10);
+  const index_t n = a.rows();
+  const index_t k = 5;
+  IluPreconditioner inner(team, a, 0);
+  inner.factor(team, a);
+  CountingPreconditioner counting(inner);
+
+  const std::vector<real_t> base(static_cast<std::size_t>(n), 1.0);
+  const BatchBuffer b = scaled_rhs_batch(base, k);
+  BatchBuffer x(n, k);
+  for (index_t j = 0; j < k; ++j) {
+    x.set_column(j, std::vector<real_t>(static_cast<std::size_t>(n), 0.0));
+  }
+  auto results = pcg_solve(team, a, b.view(), x.view(), &counting);
+  EXPECT_EQ(counting.single_applies, 0);
+  EXPECT_GT(counting.batch_applies, 0);
+  EXPECT_EQ(counting.max_width, k);
+  for (const auto& r : results) EXPECT_TRUE(r.converged);
+
+  counting.batch_applies = 0;
+  counting.max_width = 0;
+  const auto sysb = scaled_rhs_batch(base, k);
+  for (index_t j = 0; j < k; ++j) {
+    x.set_column(j, std::vector<real_t>(static_cast<std::size_t>(n), 0.0));
+  }
+  results = gmres_solve(team, a, sysb.view(), x.view(), &counting);
+  EXPECT_EQ(counting.single_applies, 0);
+  EXPECT_GT(counting.batch_applies, 0);
+  EXPECT_EQ(counting.max_width, k);
+  for (const auto& r : results) EXPECT_TRUE(r.converged);
+}
+
+// ---------------------------------------------------------------------
+// Mixed precision and iterative refinement.
+// ---------------------------------------------------------------------
+
+TEST(MixedPrecisionKrylov, ConvergedMixedSolveMeetsTheDoubleCriterion) {
+  // With mixed_precision set only the preconditioner application runs in
+  // float storage; residuals and the convergence test stay double, so a
+  // converged mixed solve satisfies the same ||r|| <= rtol ||b||. The
+  // solutions then obey ||x_m - x_d|| <= 2 rtol ||b|| ||A^{-1}||; for
+  // the SPD Laplacian ||A^{-1}||_2 = 1/lambda_min with
+  // lambda_min = 8 sin^2(pi / (2(nx+1))) (docs/ARCHITECTURE.md).
+  ThreadTeam team(4);
+  const index_t nx = 15;
+  const auto a = laplacian(nx);
+  const index_t n = a.rows();
+  IluPreconditioner precond(team, a, 0);
+  precond.factor(team, a);
+  const std::vector<real_t> b(static_cast<std::size_t>(n), 1.0);
+
+  KrylovOptions opt;
+  opt.rtol = 1e-8;
+  opt.max_iterations = 500;
+  std::vector<real_t> xd(b.size(), 0.0);
+  const auto res_d = pcg_solve(team, a, b, xd, &precond, opt);
+  ASSERT_TRUE(res_d.converged);
+
+  opt.mixed_precision = true;
+  std::vector<real_t> xm(b.size(), 0.0);
+  const auto res_m = pcg_solve(team, a, b, xm, &precond, opt);
+  ASSERT_TRUE(res_m.converged);
+  // True-residual check with an absolute slack for the recurrence
+  // residual's double-precision drift (O(n eps ||A|| ||x||) ~ 1e-12).
+  EXPECT_LE(residual_norm(a, xm, b), opt.rtol * norm(b) + 1e-10);
+
+  const double pi = 3.14159265358979323846;
+  const double s = std::sin(pi / (2.0 * static_cast<double>(nx + 1)));
+  const double inv_a_norm = 1.0 / (8.0 * s * s);
+  std::vector<real_t> diff(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) diff[i] = xm[i] - xd[i];
+  EXPECT_LE(norm(diff), 2.0 * opt.rtol * norm(b) * inv_a_norm + 1e-9);
+}
+
+TEST(MixedPrecisionKrylov, MixedGmresConvergesOnTheStandardProblems) {
+  ThreadTeam team(8);
+  for (const auto& prob : standard_problem_set()) {
+    IluPreconditioner precond(team, prob.system.a, 0);
+    precond.factor(team, prob.system.a);
+    std::vector<real_t> x(static_cast<std::size_t>(prob.system.a.rows()),
+                          0.0);
+    KrylovOptions opt;
+    opt.max_iterations = 500;
+    opt.rtol = 1e-8;
+    opt.mixed_precision = true;
+    const auto res =
+        gmres_solve(team, prob.system.a, prob.system.rhs, x, &precond, opt);
+    EXPECT_TRUE(res.converged) << prob.name;
+    EXPECT_LT(residual_norm(prob.system.a, x, prob.system.rhs),
+              1e-4 * norm(prob.system.rhs) + 1e-8)
+        << prob.name;
+  }
+}
+
+TEST(RefinementTest, RefinedSolvesReachOuterToleranceWithLooseMixedInner) {
+  // Defect correction: loose mixed-precision inner solves, double outer
+  // residual. The achievable accuracy is set by the outer precision
+  // alone — the inner precision only costs cycles.
+  ThreadTeam team(4);
+  const auto a = laplacian(12);
+  const index_t n = a.rows();
+  IluPreconditioner precond(team, a, 0);
+  precond.factor(team, a);
+  const std::vector<real_t> b(static_cast<std::size_t>(n), 1.0);
+
+  KrylovOptions inner;
+  inner.rtol = 1e-4;  // far looser than the outer target
+  inner.max_iterations = 200;
+  inner.mixed_precision = true;
+  const double outer_rtol = 1e-10;
+
+  std::vector<real_t> x(b.size(), 0.0);
+  const auto pcg_res =
+      refined_pcg_solve(team, a, b, x, &precond, inner, outer_rtol);
+  EXPECT_TRUE(pcg_res.converged);
+  EXPECT_GE(pcg_res.cycles, 1);
+  EXPECT_GE(pcg_res.total_iterations, pcg_res.cycles);
+  EXPECT_LE(pcg_res.residual_norm, outer_rtol * norm(b));
+  EXPECT_LE(residual_norm(a, x, b), outer_rtol * norm(b) * (1.0 + 1e-9));
+
+  std::vector<real_t> xg(b.size(), 0.0);
+  const auto gmres_res =
+      refined_gmres_solve(team, a, b, xg, &precond, inner, outer_rtol);
+  EXPECT_TRUE(gmres_res.converged);
+  EXPECT_GE(gmres_res.cycles, 1);
+  EXPECT_LE(gmres_res.residual_norm, outer_rtol * norm(b));
+  EXPECT_LE(residual_norm(a, xg, b), outer_rtol * norm(b) * (1.0 + 1e-9));
 }
 
 TEST(KrylovEdge, ZeroRhsConvergesImmediately) {
