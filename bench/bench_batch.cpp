@@ -33,15 +33,32 @@
 // round out the set. Each kernel record carries its roofline
 // bytes-touched model (`*_bytes`) and achieved bandwidth (`*_gbps`,
 // informational units — not gated).
+//
+// PR 10 additions: the bind-time execution layout (kernel/layout.hpp)
+// gets the same treatment. The un-prefixed records keep their historical
+// meaning — gather dispatch — by pinning select_layout(false) on every
+// timed solver; `layout_*` / `scalar_layout_*` twins then time the packed
+// schedule-order path in the same process, each pinned bit-for-bit
+// against the gather result. `batch_layout_bytes` / `spmv_layout_bytes`
+// record the packing footprint (unit "bytes", exact-match gated: they are
+// deterministic functions of structure and processor count). The
+// RTL_REORDER knob (none/rcm/wavefront) permutes the case matrices before
+// factoring and is stamped into the JSON config so compared runs are
+// always apples-to-apples.
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/runtime.hpp"
 #include "kernel/batch.hpp"
+#include "kernel/layout.hpp"
 #include "kernel/spmv_kernel.hpp"
 #include "solver/parallel_triangular.hpp"
+#include "sparse/reorder.hpp"
 
 namespace {
 
@@ -80,6 +97,33 @@ void lambda_solve(ThreadTeam& team, const IluFactorization& ilu,
   });
 }
 
+/// The RTL_REORDER knob, normalized to lower case ("none" when unset).
+std::string reorder_mode() {
+  const char* raw = std::getenv("RTL_REORDER");
+  if (raw == nullptr || *raw == '\0') return "none";
+  std::string v(raw);
+  for (char& ch : v) ch = static_cast<char>(std::tolower(ch));
+  return v;
+}
+
+/// Symmetrically permute a test problem in place: `mode` is "rcm" or
+/// "wavefront" (see sparse/reorder.hpp). Row perm[k] of A becomes row k,
+/// so the rhs is gathered through the same permutation.
+TestProblem apply_reorder(TestProblem prob, const std::string& mode) {
+  if (mode == "none") return prob;
+  const Permutation perm = mode == "rcm"
+                               ? reverse_cuthill_mckee(prob.system.a)
+                               : wavefront_order(prob.system.a);
+  CsrMatrix permuted = permute_symmetric(prob.system.a, perm);
+  std::vector<real_t> rhs(prob.system.rhs.size());
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    rhs[i] = prob.system.rhs[static_cast<std::size_t>(perm.perm[i])];
+  }
+  prob.system.a = std::move(permuted);
+  prob.system.rhs = std::move(rhs);
+  return prob;
+}
+
 }  // namespace
 
 int main() {
@@ -92,18 +136,30 @@ int main() {
   Reporter report("bench_batch");
   report.add_config("amplified", "no");
 
+  const std::string reorder = reorder_mode();
+  if (reorder != "none" && reorder != "rcm" && reorder != "wavefront") {
+    std::fprintf(stderr, "bench_batch: RTL_REORDER=%s (want none|rcm|wavefront)\n",
+                 reorder.c_str());
+    return 2;
+  }
+  report.add_config("reorder", reorder);
+
   std::printf("Batched multi-RHS ILU(0) apply, %d procs, %d reps\n", p,
               reps);
   std::printf("%-8s %12s %12s | %10s %10s %10s  (ms per rhs)\n", "Problem",
               "lambda k=1", "kernel k=1", "k=1", "k=4", "k=16");
 
   std::vector<SolveCase> cases;
-  cases.emplace_back(make_5pt());
-  cases.emplace_back(make_l5pt());
+  cases.emplace_back(apply_reorder(make_5pt(), reorder));
+  cases.emplace_back(apply_reorder(make_l5pt(), reorder));
   for (const auto& c : cases) {
     const index_t n = c.ilu.size();
     const std::size_t nz = static_cast<std::size_t>(n);
     ParallelTriangularSolver solver(rt, c.ilu);
+    // The un-prefixed records below have always meant the gather dispatch;
+    // pin it regardless of the RTL_LAYOUT bind default so the trend data
+    // stays comparable, and time the layout path through its own twins.
+    solver.kernel().select_layout(false);
 
     // Single-RHS control pair: the old lambda path vs the bound kernel.
     std::vector<real_t> rhs(c.system.rhs);
@@ -122,13 +178,19 @@ int main() {
     }
     report.add(c.name, "lambda_single_ms", lambda_ms);
     report.add(c.name, "kernel_single_ms", kernel_ms);
-    report.add_plan_stats(c.name, solver.lower_plan().stats());
+    // Kernel-level stats so plan_layout_bytes reflects the lower factor's
+    // bind-time packing, not the bare plan's zero.
+    report.add_plan_stats(c.name, solver.kernel().lower().stats());
+    report.add_scalar(c.name, "batch_layout_bytes",
+                      static_cast<double>(solver.kernel().layout_bytes()),
+                      "bytes");
 
     std::printf("%-8s %12.3f %12.3f |", c.name.c_str(), lambda_ms.min,
                 kernel_ms.min);
 
     // Batched sweeps: per-rhs cost vs batch width, verified against k
     // sequential single-RHS solves.
+    std::vector<double> gather_mins, layout_mins;
     for (const index_t k : widths) {
       BatchBuffer brhs(n, k), bx(n, k);
       for (index_t j = 0; j < k; ++j) {
@@ -195,6 +257,35 @@ int main() {
         }
       }
 
+      // Layout twins: the same batch re-solved through the bind-time
+      // packed layout, SIMD and scalar flavors, each pinned bit-for-bit
+      // against the gather results above. The layout is built whenever it
+      // is compiled in (the env only picks the bind default), so one
+      // binary carries the whole gather-vs-layout A/B pair — the
+      // interleaved comparison docs/PERF.md requires.
+      BatchBuffer bx_layout(n, k), bx_scalar_layout(n, k);
+      solver.kernel().select_layout(true);
+      const Stats layout_ms = measure_ms(reps, [&] {
+        solver.solve(team, brhs.view(), bx_layout.view());
+      });
+      solver.kernel().select_simd(false);
+      const Stats scalar_layout_ms = measure_ms(reps, [&] {
+        solver.solve(team, brhs.view(), bx_scalar_layout.view());
+      });
+      solver.kernel().select_simd(true);
+      solver.kernel().select_layout(false);
+      for (index_t j = 0; j < k; ++j) {
+        for (index_t i = 0; i < n; ++i) {
+          if (bx.view().at(i, j) != bx_layout.view().at(i, j) ||
+              bx.view().at(i, j) != bx_scalar_layout.view().at(i, j)) {
+            std::fprintf(stderr,
+                         "%s: layout k=%d diverged from gather dispatch\n",
+                         c.name.c_str(), k);
+            return 1;
+          }
+        }
+      }
+
       const std::string kk = "batch_k" + std::to_string(k);
       report.add(c.name, kk + "_solve_ms", batch_ms);
       report.add_scalar(c.name, kk + "_ms_per_rhs",
@@ -208,16 +299,30 @@ int main() {
       report.add_scalar(c.name, "scalar_" + kk + "_ms_per_rhs",
                         scalar_ms.mean / static_cast<double>(k),
                         "ms-derived");
+      report.add(c.name, "layout_" + kk + "_solve_ms", layout_ms);
+      report.add_scalar(c.name, "layout_" + kk + "_ms_per_rhs",
+                        layout_ms.mean / static_cast<double>(k),
+                        "ms-derived");
+      report.add(c.name, "scalar_layout_" + kk + "_solve_ms",
+                 scalar_layout_ms);
+      report.add_scalar(c.name, "scalar_layout_" + kk + "_ms_per_rhs",
+                        scalar_layout_ms.mean / static_cast<double>(k),
+                        "ms-derived");
 
       // Roofline traffic of the fused L+U apply at this width, and the
       // achieved bandwidth of the timed batched solve (informational:
-      // unit is not gated).
+      // unit is not gated). The layout twin reuses the same traffic model
+      // so the two bandwidths compare like for like.
       const double bytes = static_cast<double>(
           solver.kernel().lower().bytes_per_solve(k) +
           solver.kernel().upper().bytes_per_solve(k));
       report.add_scalar(c.name, kk + "_bytes", bytes, "bytes");
       report.add_scalar(c.name, kk + "_gbps",
                         bytes / (batch_ms.min * 1e6), "GB/s");
+      report.add_scalar(c.name, "layout_" + kk + "_gbps",
+                        bytes / (layout_ms.min * 1e6), "GB/s");
+      gather_mins.push_back(batch_ms.min);
+      layout_mins.push_back(layout_ms.min);
       std::printf(" %10.4f", batch_ms.min / static_cast<double>(k));
     }
 
@@ -266,6 +371,11 @@ int main() {
       report.add(c.name, "column_scatter16_ms", scatter_ms);
     }
     std::printf("\n");
+    std::printf("%-8s layout  k=1 %9.4f  k=4 %9.4f  k=16 %9.4f ms"
+                "  (gather %9.4f %9.4f %9.4f)\n",
+                c.name.c_str(), layout_mins[0], layout_mins[1],
+                layout_mins[2], gather_mins[0], gather_mins[1],
+                gather_mins[2]);
 
     // Barrier vs pipelined scheduler on the same batches. Same kernel
     // bodies, same columns; the pipelined result is pinned bit-for-bit to
@@ -277,6 +387,8 @@ int main() {
     pipe_opts.execution = ExecutionPolicy::kPipelined;
     ParallelTriangularSolver barrier_solver(rt, c.ilu, barrier_opts);
     ParallelTriangularSolver pipe_solver(rt, c.ilu, pipe_opts);
+    barrier_solver.kernel().select_layout(false);
+    pipe_solver.kernel().select_layout(false);
     for (const index_t k : widths) {
       BatchBuffer brhs(n, k), bx_bar(n, k), bx_pipe(n, k);
       for (index_t j = 0; j < k; ++j) {
@@ -295,6 +407,22 @@ int main() {
           if (bx_bar.view().at(i, j) != bx_pipe.view().at(i, j)) {
             std::fprintf(stderr,
                          "%s: pipelined k=%d diverged from barrier path\n",
+                         c.name.c_str(), k);
+            return 1;
+          }
+        }
+      }
+      // One un-timed solve pinning the layout dispatch on the pipelined
+      // ragged panels against the barrier gather result.
+      pipe_solver.kernel().select_layout(true);
+      pipe_solver.solve(team, brhs.view(), bx_pipe.view());
+      pipe_solver.kernel().select_layout(false);
+      for (index_t j = 0; j < k; ++j) {
+        for (index_t i = 0; i < n; ++i) {
+          if (bx_bar.view().at(i, j) != bx_pipe.view().at(i, j)) {
+            std::fprintf(stderr,
+                         "%s: pipelined layout k=%d diverged from barrier "
+                         "gather path\n",
                          c.name.c_str(), k);
             return 1;
           }
@@ -347,8 +475,12 @@ int main() {
     // with the same in-binary scalar-vs-SIMD control pair and roofline
     // records. Verified bit-for-bit against k single applies.
     auto spmv = SpMVKernel::bind(c.system.a);
+    spmv.select_layout(false);  // un-prefixed records stay gather
+    report.add_scalar(c.name, "spmv_layout_bytes",
+                      static_cast<double>(spmv.layout_bytes()), "bytes");
     for (const index_t k : widths) {
       BatchBuffer sx(n, k), sy(n, k), sy_scalar(n, k);
+      BatchBuffer sy_layout(n, k), sy_scalar_layout(n, k);
       for (index_t j = 0; j < k; ++j) {
         std::vector<real_t> col(rhs);
         for (auto& v : col) v *= 1.0 + 0.25 * static_cast<real_t>(j);
@@ -364,16 +496,31 @@ int main() {
       });
       spmv.select_simd(true);
 
+      // Layout twins for the SpMV family: compressed-index decode, same
+      // accumulation order, pinned bit-for-bit below.
+      spmv.select_layout(true);
+      const Stats spmv_layout_ms = measure_ms(reps, [&] {
+        spmv.apply(team, sx.view(), sy_layout.view());
+      });
+      spmv.select_simd(false);
+      const Stats spmv_scalar_layout_ms = measure_ms(reps, [&] {
+        spmv.apply(team, sx.view(), sy_scalar_layout.view());
+      });
+      spmv.select_simd(true);
+      spmv.select_layout(false);
+
       std::vector<real_t> colx(nz), coly(nz);
       for (index_t j = 0; j < k; ++j) {
         sx.get_column(j, colx);
         spmv.apply(team, colx, coly);
         for (index_t i = 0; i < n; ++i) {
           if (sy.view().at(i, j) != coly[static_cast<std::size_t>(i)] ||
-              sy.view().at(i, j) != sy_scalar.view().at(i, j)) {
+              sy.view().at(i, j) != sy_scalar.view().at(i, j) ||
+              sy.view().at(i, j) != sy_layout.view().at(i, j) ||
+              sy.view().at(i, j) != sy_scalar_layout.view().at(i, j)) {
             std::fprintf(stderr,
-                         "%s: spmv k=%d diverged (batched vs single or "
-                         "simd vs scalar)\n",
+                         "%s: spmv k=%d diverged (batched vs single, simd "
+                         "vs scalar, or layout vs gather)\n",
                          c.name.c_str(), k);
             return 1;
           }
@@ -389,15 +536,30 @@ int main() {
       report.add_scalar(c.name, "scalar_" + sk + "_ms_per_rhs",
                         spmv_scalar_ms.mean / static_cast<double>(k),
                         "ms-derived");
+      report.add(c.name, "layout_" + sk + "_apply_ms", spmv_layout_ms);
+      report.add_scalar(c.name, "layout_" + sk + "_ms_per_rhs",
+                        spmv_layout_ms.mean / static_cast<double>(k),
+                        "ms-derived");
+      report.add(c.name, "scalar_layout_" + sk + "_apply_ms",
+                 spmv_scalar_layout_ms);
+      report.add_scalar(c.name, "scalar_layout_" + sk + "_ms_per_rhs",
+                        spmv_scalar_layout_ms.mean / static_cast<double>(k),
+                        "ms-derived");
       report.add_scalar(c.name, sk + "_bytes", sbytes, "bytes");
       report.add_scalar(c.name, sk + "_gbps",
                         sbytes / (spmv_ms.min * 1e6), "GB/s");
-      std::printf("%-8s spmv k=%-2d simd %9.4f ms | scalar %9.4f ms\n",
-                  c.name.c_str(), k, spmv_ms.min, spmv_scalar_ms.min);
+      report.add_scalar(c.name, "layout_" + sk + "_gbps",
+                        sbytes / (spmv_layout_ms.min * 1e6), "GB/s");
+      std::printf("%-8s spmv k=%-2d simd %9.4f ms | scalar %9.4f ms | "
+                  "layout %9.4f ms\n",
+                  c.name.c_str(), k, spmv_ms.min, spmv_scalar_ms.min,
+                  spmv_layout_ms.min);
     }
   }
   report.add_config("simd_compiled", simd_compiled() ? "yes" : "no");
   report.add_config("simd_bound", simd_bind_default() ? "on" : "off");
+  report.add_config("layout_compiled", layout_compiled() ? "yes" : "no");
+  report.add_config("layout_bound", layout_bind_default() ? "on" : "off");
   report.add_plan_cache(rt.plan_cache_counters());
   return 0;
 }

@@ -159,6 +159,10 @@ void Reporter::add_plan_stats(const std::string& group,
              static_cast<double>(stats.max_wavefront), "count");
   add_scalar(group, "plan_avg_wavefront", stats.avg_wavefront, "count");
   add_scalar(group, "plan_bytes", static_cast<double>(stats.bytes), "bytes");
+  // Bind-time execution layout packing (kernel/layout.hpp): 0 for a bare
+  // plan or a gather-only build; BoundKernel::stats() fills it in.
+  add_scalar(group, "plan_layout_bytes",
+             static_cast<double>(stats.layout_bytes), "bytes");
 }
 
 void Reporter::add_plan_cache(const Runtime::CacheCounters& counters) {

@@ -104,9 +104,10 @@ class Reporter {
                   double value, const std::string& unit = "");
 
   /// Record a plan's inspector-artifact shape and footprint: phase count,
-  /// max/avg wavefront width ("count") and `Plan::memory_footprint()`
-  /// bytes ("bytes"). Non-time units, so these inform trend data without
-  /// gating.
+  /// max/avg wavefront width ("count"), `Plan::memory_footprint()` bytes
+  /// and the bind-time layout packing bytes ("bytes" — exact-gated, they
+  /// are deterministic functions of the structure). Pass
+  /// `BoundKernel::stats()` to include the kernel's layout bytes.
   void add_plan_stats(const std::string& group, const PlanStats& stats);
 
   /// Record `Runtime` plan-cache efficacy (hits/misses/evictions/entries

@@ -26,11 +26,13 @@ AND new.mean - base.mean > min_abs_ms (after unit conversion to ms)
 AND new.mean - base.mean > sigma * base.stddev.
 
 Records with unit "count" are deterministic synchronization-event
-counters (flag publishes, barrier waits): they gate by EXACT match —
-any change, in either direction, is a gate problem, because a counter
-drift means the scheduler changed behavior, not that the host was
-noisy. Records with other units (events, efficiencies, derived
-estimates) are reported informationally but never gate.
+counters (flag publishes, barrier waits), and records with unit
+"bytes" are deterministic footprint/traffic models (roofline bytes,
+plan and execution-layout packing sizes): both gate by EXACT match —
+any change, in either direction, is a gate problem, because a drift
+means the scheduler or the packing changed behavior, not that the
+host was noisy. Records with other units (events, efficiencies,
+GB/s, derived estimates) are reported informationally but never gate.
 """
 
 from __future__ import annotations
@@ -44,8 +46,11 @@ SCHEMA_VERSION = 1
 # Unit -> multiplier into milliseconds. These units gate by threshold.
 TIME_UNITS_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
-# Unit of deterministic event counters: gates by exact match.
+# Units of deterministic records: event counters and byte footprints
+# (roofline models, plan/layout packing sizes). Both gate by exact match.
 COUNT_UNIT = "count"
+BYTES_UNIT = "bytes"
+EXACT_UNITS = {COUNT_UNIT, BYTES_UNIT}
 
 
 def load_doc(path):
@@ -175,7 +180,7 @@ def compare(base_doc, new_doc, threshold, min_abs_ms, sigma, out=sys.stdout):
         if new_drivers.get(drv, True):
             continue  # whole driver skipped/missing: already flagged above
         unit = base[key].get("unit")
-        if unit in TIME_UNITS_MS or unit == COUNT_UNIT:
+        if unit in TIME_UNITS_MS or unit in EXACT_UNITS:
             problems.append(
                 f"gated record {drv} {group}/{metric} vanished from new "
                 "(renamed or no longer measured?)"
@@ -195,14 +200,16 @@ def compare(base_doc, new_doc, threshold, min_abs_ms, sigma, out=sys.stdout):
         bm, nm = b.get("mean"), n.get("mean")
         if bm is None or nm is None:
             continue
-        if unit == COUNT_UNIT:
-            # Deterministic counters: any drift means the scheduler's
-            # synchronization behavior changed — exact match or fail.
+        if unit in EXACT_UNITS:
+            # Deterministic records: any drift means the scheduler's
+            # synchronization behavior or a packing/traffic model changed
+            # — exact match or fail.
             if bm != nm:
                 drv, group, metric = key
+                label = "COUNTER" if unit == COUNT_UNIT else "BYTES"
                 problems.append(
-                    f"COUNTER MISMATCH {drv} {group}/{metric}: "
-                    f"{bm:g} -> {nm:g} (unit 'count' gates by exact match)"
+                    f"{label} MISMATCH {drv} {group}/{metric}: "
+                    f"{bm:g} -> {nm:g} (unit {unit!r} gates by exact match)"
                 )
             continue
         if scale is None:
@@ -288,6 +295,8 @@ def self_check():
                     _mkrec("P1", "tiny_ms", 0.001),
                     _mkrec("P1", "barrier_waits", 128.0, unit="count"),
                     _mkrec("P1", "steals", 17.0, unit="events"),
+                    _mkrec("P1", "layout_bytes", 65536.0, unit="bytes"),
+                    _mkrec("P1", "bandwidth", 12.5, unit="GB/s"),
                 ],
             ),
             make_skipped_doc("bench_absent", "binary not built"),
@@ -402,7 +411,32 @@ def self_check():
     r, _, _, probs = compare(base, ev, 0.10, 0.05, 0.0, out=io.StringIO())
     assert not r and not probs, "events records must stay informational"
 
-    print("self-check OK (13 checks)")
+    # 14. Unit-"bytes" records (roofline traffic models, plan/layout
+    # packing sizes) gate by exact match like counters: a one-byte drift
+    # in either direction is a problem, and a vanished bytes record fails
+    # like a vanished timing.
+    bdrift = copy.deepcopy(base)
+    bdrift["runs"][0]["records"][6]["mean"] = 65535.0
+    r, _, _, probs = compare(base, bdrift, 0.10, 0.05, 0.0, out=io.StringIO())
+    assert not r, "bytes drift must not be reported as a timing regression"
+    assert any("BYTES MISMATCH" in n for n in probs), "bytes drift missed"
+    bgone = copy.deepcopy(base)
+    bgone["runs"][0]["records"] = [
+        r
+        for r in bgone["runs"][0]["records"]
+        if r["metric"] != "layout_bytes"
+    ]
+    _, _, _, probs = compare(base, bgone, 0.10, 0.05, 0.0, out=io.StringIO())
+    assert any("vanished" in n for n in probs), "vanished bytes record missed"
+
+    # 15. Unit-"GB/s" records (achieved bandwidth) never gate: they are
+    # derived from gated timings and would double-report any change.
+    gbps = copy.deepcopy(base)
+    gbps["runs"][0]["records"][7]["mean"] = 0.1
+    r, _, _, probs = compare(base, gbps, 0.10, 0.05, 0.0, out=io.StringIO())
+    assert not r and not probs, "GB/s records must stay informational"
+
+    print("self-check OK (15 checks)")
     return 0
 
 

@@ -1,0 +1,152 @@
+#include "kernel/layout.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "core/schedule.hpp"
+
+namespace rtl {
+
+namespace {
+
+bool parse_layout_env() noexcept {
+  if (!layout_compiled()) return false;
+  const char* raw = std::getenv("RTL_LAYOUT");
+  if (raw == nullptr) return true;
+  std::string v(raw);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  return !(v == "0" || v == "off" || v == "false");
+}
+
+/// Column range fits the u16 delta encoding from `base`.
+constexpr bool fits_u16(index_t base, index_t max_col) noexcept {
+  return max_col - base <=
+         static_cast<index_t>(std::numeric_limits<std::uint16_t>::max());
+}
+
+}  // namespace
+
+bool layout_bind_default() noexcept {
+  // Cached: the environment is read once, before any team is running.
+  static const bool enabled = parse_layout_env();
+  return enabled;
+}
+
+ExecutionLayout::ExecutionLayout(const Plan& plan,
+                                 std::span<const index_t> row_ptr,
+                                 std::span<const index_t> col,
+                                 std::span<const real_t> val,
+                                 bool reversed_rows)
+    : src_row_ptr_(row_ptr.data()),
+      src_val_(val.data()),
+      n_(plan.size()),
+      reversed_(reversed_rows) {
+  const Schedule& s = plan.schedule();
+  meta_.resize(static_cast<std::size_t>(n_));
+  vals_.reserve(col.size());
+
+  // One slab per (processor, phase) row group: walking p-major in phase
+  // order reproduces the flat schedule's `order` array exactly, so the
+  // packed value stream IS each processor's execution order and the
+  // pre-scheduled row loop walks it as a pointer bump.
+  for (int p = 0; p < s.nproc; ++p) {
+    for (index_t w = 0; w < s.num_phases; ++w) {
+      const std::span<const index_t> slab = s.phase(p, w);
+      if (slab.empty()) continue;
+      ++num_slabs_;
+      // Measure the slab's column range to pick the narrowest encoding
+      // that holds it (u16 deltas from the base column, else absolute).
+      index_t min_col = std::numeric_limits<index_t>::max();
+      index_t max_col = 0;
+      for (const index_t it : slab) {
+        const index_t r = reversed_ ? n_ - 1 - it : it;
+        const std::size_t b = static_cast<std::size_t>(row_ptr[r]);
+        const std::size_t e = static_cast<std::size_t>(row_ptr[r + 1]);
+        for (std::size_t t = b; t < e; ++t) {
+          min_col = std::min(min_col, col[t]);
+          max_col = std::max(max_col, col[t]);
+        }
+      }
+      const bool has_entries = min_col <= max_col;
+      const bool narrow = !has_entries || fits_u16(min_col, max_col);
+      const index_t base = (narrow && has_entries) ? min_col : 0;
+      if (narrow) ++narrow_slabs_;
+
+      for (const index_t it : slab) {
+        const index_t r = reversed_ ? n_ - 1 - it : it;
+        const std::size_t b = static_cast<std::size_t>(row_ptr[r]);
+        const std::size_t e = static_cast<std::size_t>(row_ptr[r + 1]);
+        Row& m = meta_[static_cast<std::size_t>(it)];
+        m.val_off = static_cast<index_t>(vals_.size());
+        m.idx_off = static_cast<index_t>(narrow ? idx16_.size()
+                                                : idx32_.size());
+        m.col_base = base;
+        m.len_narrow = (static_cast<index_t>(e - b) << 1) |
+                       static_cast<index_t>(narrow);
+        for (std::size_t t = b; t < e; ++t) {
+          vals_.push_back(val[t]);
+          if (narrow) {
+            idx16_.push_back(static_cast<std::uint16_t>(col[t] - base));
+          } else {
+            idx32_.push_back(col[t]);
+          }
+        }
+      }
+    }
+  }
+}
+
+void ExecutionLayout::refresh_values() noexcept {
+  // Structure is immutable, so each packed row still mirrors the same
+  // source range — one gather pass re-synchronizes the value copies.
+  for (index_t it = 0; it < n_; ++it) {
+    const Row& m = meta_[static_cast<std::size_t>(it)];
+    const index_t r = reversed_ ? n_ - 1 - it : it;
+    const std::size_t b = static_cast<std::size_t>(src_row_ptr_[r]);
+    const index_t len = m.len_narrow >> 1;
+    for (index_t t = 0; t < len; ++t) {
+      vals_[static_cast<std::size_t>(m.val_off + t)] =
+          src_val_[b + static_cast<std::size_t>(t)];
+    }
+  }
+}
+
+SpmvLayout::SpmvLayout(std::span<const index_t> row_ptr,
+                       std::span<const index_t> col, index_t rows) {
+  const index_t num_slabs = (rows + kSlabRows - 1) >> kSlabShift;
+  slabs_.reserve(static_cast<std::size_t>(num_slabs));
+  for (index_t s = 0; s < num_slabs; ++s) {
+    const index_t r0 = s << kSlabShift;
+    const index_t r1 = std::min(rows, r0 + kSlabRows);
+    const std::size_t b = static_cast<std::size_t>(row_ptr[r0]);
+    const std::size_t e = static_cast<std::size_t>(row_ptr[r1]);
+    index_t min_col = std::numeric_limits<index_t>::max();
+    index_t max_col = 0;
+    for (std::size_t t = b; t < e; ++t) {
+      min_col = std::min(min_col, col[t]);
+      max_col = std::max(max_col, col[t]);
+    }
+    const bool has_entries = b < e;
+    const bool narrow = !has_entries || fits_u16(min_col, max_col);
+    const index_t base = (narrow && has_entries) ? min_col : 0;
+    if (narrow) ++narrow_slabs_;
+    Slab slab{};
+    slab.idx_off =
+        static_cast<index_t>(narrow ? idx16_.size() : idx32_.size());
+    slab.src_base = row_ptr[r0];
+    slab.col_base = base;
+    slab.narrow = narrow ? 1 : 0;
+    slabs_.push_back(slab);
+    for (std::size_t t = b; t < e; ++t) {
+      if (narrow) {
+        idx16_.push_back(static_cast<std::uint16_t>(col[t] - base));
+      } else {
+        idx32_.push_back(col[t]);
+      }
+    }
+  }
+}
+
+}  // namespace rtl

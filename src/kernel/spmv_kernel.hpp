@@ -1,8 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "kernel/batch.hpp"
+#include "kernel/layout.hpp"
 #include "kernel/simd.hpp"
 #include "runtime/thread_team.hpp"
 #include "sparse/csr.hpp"
@@ -55,6 +57,21 @@ class SpMVKernel {
   void select_simd(bool on) noexcept { simd_ = on && simd_compiled(); }
   [[nodiscard]] bool simd_enabled() const noexcept { return simd_; }
 
+  /// Override the bind-time layout/gather dispatch (see BoundKernel).
+  /// The SpMV layout compresses column indices only — values stream from
+  /// the bound CSR, already in execution order — so in-place value
+  /// rewrites stay visible with no refresh step on this family.
+  void select_layout(bool on) noexcept {
+    layout_on_ = on && layout_ != nullptr;
+  }
+  [[nodiscard]] bool layout_enabled() const noexcept { return layout_on_; }
+  [[nodiscard]] std::size_t layout_bytes() const noexcept {
+    return layout_ ? layout_->bytes() : 0;
+  }
+  [[nodiscard]] const SpmvLayout* layout() const noexcept {
+    return layout_.get();
+  }
+
   [[nodiscard]] index_t rows() const noexcept { return rows_; }
   [[nodiscard]] index_t cols() const noexcept { return cols_; }
   [[nodiscard]] index_t nnz() const noexcept { return nnz_; }
@@ -87,6 +104,9 @@ class SpMVKernel {
   index_t cols_ = 0;
   index_t nnz_ = 0;
   bool simd_ = false;
+  // Per-slab compressed column indices, built at bind when compiled in.
+  std::shared_ptr<SpmvLayout> layout_;
+  bool layout_on_ = false;
 };
 
 }  // namespace rtl

@@ -119,6 +119,7 @@ TEST(ReporterTest, PlanStatsAndCacheCountersLandInTheRecords) {
   st.max_wavefront = 30;
   st.avg_wavefront = 10.0;
   st.bytes = 4096;
+  st.layout_bytes = 512;
   rep.add_plan_stats("P1", st);
   Runtime::CacheCounters cc;
   cc.hits = 7;
@@ -138,6 +139,8 @@ TEST(ReporterTest, PlanStatsAndCacheCountersLandInTheRecords) {
   EXPECT_NE(json.find("\"metric\": \"plan_avg_wavefront\""),
             std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"plan_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"plan_layout_bytes\""),
+            std::string::npos);
   EXPECT_NE(json.find("\"unit\": \"bytes\""), std::string::npos);
   EXPECT_NE(json.find("\"group\": \"plan_cache\""), std::string::npos);
   EXPECT_NE(json.find("\"metric\": \"hits\""), std::string::npos);
@@ -150,7 +153,7 @@ TEST(ReporterTest, PlanStatsAndCacheCountersLandInTheRecords) {
   EXPECT_NE(json.find("\"metric\": \"disk_rejects\""), std::string::npos);
   // Derived units must stay non-gating: nothing here may carry "ms".
   for (const auto& r : rep.records()) EXPECT_NE(r.unit, "ms");
-  ASSERT_EQ(rep.records().size(), 12u);
+  ASSERT_EQ(rep.records().size(), 13u);
 }
 
 TEST(ReporterTest, SkippedDriverStillProducesADocument) {

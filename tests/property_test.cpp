@@ -477,6 +477,76 @@ TEST_P(DagPropertyTest, SimdBatchedSolveIsBitForBitScalarEverywhere) {
   }
 }
 
+TEST_P(DagPropertyTest, LayoutBatchedSolveIsBitForBitGatherEverywhere) {
+  // The acceptance property of the bind-time execution layout: for random
+  // DAGs, EVERY executor policy (including pipelined with a ragged
+  // panel), every processor count 1..8 and k in {1, 4, 16}, the
+  // schedule-order packed path (select_layout(true)) equals the CSR
+  // gather path bit-for-bit, on the batched views and on the single-RHS
+  // vector path. The layout permutes loads only — per-lane arithmetic
+  // order is untouched — so a single differing bit means the packing
+  // mis-mapped a row or an index decode went wrong. Under RTL_LAYOUT=OFF
+  // builds select_layout is a no-op and the property holds trivially.
+  const auto param = GetParam();
+  const std::uint64_t seed = test_seed(param.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(param.n, param.max_deg, seed);
+  const CsrMatrix lower = lower_matrix_from_dag(g, seed ^ 0xbeef);
+  const index_t n = g.size();
+
+  std::mt19937_64 rng(seed ^ 0x1a07);
+  std::uniform_real_distribution<real_t> dist(-10.0, 10.0);
+  for (int nproc = 1; nproc <= 8; ++nproc) {
+    ThreadTeam team(nproc);
+    for (const auto exec :
+         {ExecutionPolicy::kPreScheduled, ExecutionPolicy::kSelfExecuting,
+          ExecutionPolicy::kDoAcross, ExecutionPolicy::kSelfScheduled,
+          ExecutionPolicy::kWindowed, ExecutionPolicy::kPipelined}) {
+      DoconsiderOptions opts;
+      opts.execution = exec;
+      if (exec == ExecutionPolicy::kPipelined) opts.panel = 3;
+      auto kernel = BoundKernel::lower(
+          std::make_shared<const Plan>(team, DependenceGraph(g), opts),
+          lower);
+
+      std::vector<real_t> vrhs(static_cast<std::size_t>(n));
+      for (auto& v : vrhs) v = dist(rng);
+      std::vector<real_t> got_gather(vrhs.size()), got_layout(vrhs.size());
+      kernel.select_layout(false);
+      kernel.solve(team, vrhs, got_gather);
+      kernel.select_layout(true);
+      kernel.solve(team, vrhs, got_layout);
+      for (index_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got_layout[static_cast<std::size_t>(i)],
+                  got_gather[static_cast<std::size_t>(i)])
+            << "single-rhs exec=" << static_cast<int>(exec)
+            << " nproc=" << nproc << " row=" << i;
+      }
+
+      for (const index_t k : {1, 4, 16}) {
+        BatchBuffer rhs(n, k);
+        for (index_t j = 0; j < k; ++j) {
+          std::vector<real_t> colv(static_cast<std::size_t>(n));
+          for (auto& v : colv) v = dist(rng);
+          rhs.set_column(j, colv);
+        }
+        BatchBuffer bgather(n, k), blayout(n, k);
+        kernel.select_layout(false);
+        kernel.solve(team, rhs.view(), bgather.view());
+        kernel.select_layout(true);
+        kernel.solve(team, rhs.view(), blayout.view());
+        for (index_t j = 0; j < k; ++j) {
+          for (index_t i = 0; i < n; ++i) {
+            ASSERT_EQ(blayout.view().at(i, j), bgather.view().at(i, j))
+                << "exec=" << static_cast<int>(exec) << " nproc=" << nproc
+                << " k=" << k << " col=" << j << " row=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST_P(DagPropertyTest, MixedPrecisionSolveSatisfiesDocumentedErrorModel) {
   // The mixed-precision pin is tolerance-bounded by construction: scale
   // each row of the random lower factor so its absolute sum is <= 1/2.

@@ -18,6 +18,7 @@
 #include "core/plan_io.hpp"
 #include "core/runtime.hpp"
 #include "graph/dependence_graph.hpp"
+#include "kernel/bound_kernel.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/ready_flags.hpp"
 #include "runtime/spin_wait.hpp"
@@ -604,6 +605,97 @@ TEST(RuntimeDiskCache, ConcurrentRuntimesSharingOneDirectoryStaySane) {
   for (int v = 0; v < 3; ++v) (void)rt.plan_for(test_dag(v));
   EXPECT_EQ(rt.plan_cache_counters().misses, 0u);
   EXPECT_EQ(rt.plan_cache_counters().disk_hits, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache ↔ execution-layout lifetime
+// ---------------------------------------------------------------------------
+
+/// Unit-lower CSR over `g`'s dependence edges with deterministic values —
+/// a bindable forward-substitution matrix for the kernel-lifetime tests.
+CsrMatrix lower_for_dag(const DependenceGraph& g) {
+  std::vector<index_t> ptr{0};
+  std::vector<index_t> col;
+  std::vector<real_t> val;
+  for (index_t i = 0; i < g.size(); ++i) {
+    for (const index_t d : g.deps(i)) {
+      col.push_back(d);
+      val.push_back(0.25 + 0.5 * static_cast<real_t>((i + d) % 3));
+    }
+    ptr.push_back(static_cast<index_t>(col.size()));
+  }
+  return {g.size(), g.size(), std::move(ptr), std::move(col),
+          std::move(val)};
+}
+
+TEST(RuntimeCacheLayoutLifetime, EvictedPlansKeepLiveKernelLayoutsValid) {
+  // A BoundKernel builds its execution layout from the plan's schedule at
+  // bind time and co-owns the plan. LRU eviction (capacity 1 here) drops
+  // only the cache's reference: a live kernel's layout must stay valid
+  // and keep solving — any dangle is a use-after-free the ASan job turns
+  // into a hard failure.
+  Runtime rt(2, /*plan_cache_capacity=*/1, /*cache_dir=*/"");
+  const auto g = test_dag();
+  const CsrMatrix lower = lower_for_dag(g);
+  auto kernel = BoundKernel::lower(rt.plan_for(test_dag()), lower);
+  kernel.select_layout(true);
+  const std::size_t packed = kernel.layout_bytes();
+
+  std::vector<real_t> rhs(static_cast<std::size_t>(g.size()), 1.0);
+  std::vector<real_t> before(rhs.size());
+  kernel.solve(rt.team(), rhs, before);
+
+  // Churn the capacity-1 LRU with two other structures: the kernel's
+  // plan is evicted (and the second insert evicts the first).
+  (void)rt.plan_for(test_dag(1));
+  (void)rt.plan_for(test_dag(2));
+  EXPECT_GE(rt.plan_cache_counters().evictions, 2u);
+
+  std::vector<real_t> after(rhs.size());
+  kernel.solve(rt.team(), rhs, after);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(kernel.layout_bytes(), packed);
+
+  // The gather dispatch of the same kernel agrees — the packing did not
+  // rot while unreferenced by the cache.
+  kernel.select_layout(false);
+  std::vector<real_t> gather(rhs.size());
+  kernel.solve(rt.team(), rhs, gather);
+  EXPECT_EQ(gather, before);
+}
+
+TEST(RuntimeCacheLayoutLifetime, DiskReloadedPlanRebuildsIdenticalLayout) {
+  // Warm start: a second Runtime serves the plan from the disk tier with
+  // zero inspector runs, and a kernel bound to the RELOADED plan rebuilds
+  // its layout from the loaded schedule alone — same packing bytes (a
+  // deterministic function of schedule + structure), same solve bits as
+  // the original process's layout kernel.
+  const std::string dir = fresh_cache_dir("layout_reload");
+  const auto g = test_dag();
+  const CsrMatrix lower = lower_for_dag(g);
+  std::vector<real_t> rhs(static_cast<std::size_t>(g.size()), 1.0);
+
+  std::size_t packed = 0;
+  std::vector<real_t> first(rhs.size());
+  {
+    Runtime rt(2, 8, dir);
+    auto kernel = BoundKernel::lower(rt.plan_for(test_dag()), lower);
+    kernel.select_layout(true);
+    packed = kernel.layout_bytes();
+    kernel.solve(rt.team(), rhs, first);
+    EXPECT_EQ(rt.plan_cache_counters().misses, 1u);
+  }
+
+  Runtime rt2(2, 8, dir);
+  auto kernel2 = BoundKernel::lower(rt2.plan_for(test_dag()), lower);
+  EXPECT_EQ(rt2.plan_cache_counters().misses, 0u)
+      << "disk hit must skip the inspector";
+  EXPECT_EQ(rt2.plan_cache_counters().disk_hits, 1u);
+  kernel2.select_layout(true);
+  EXPECT_EQ(kernel2.layout_bytes(), packed);
+  std::vector<real_t> second(rhs.size());
+  kernel2.solve(rt2.team(), rhs, second);
+  EXPECT_EQ(second, first);
 }
 
 }  // namespace

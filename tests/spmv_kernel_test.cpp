@@ -106,6 +106,68 @@ TEST_P(SpMVKernelTest, SimdDispatchIsBitForBitScalar) {
   }
 }
 
+TEST_P(SpMVKernelTest, LayoutDispatchIsBitForBitGatherAndValuesNeverStale) {
+  // The SpMV layout compresses column indices per 256-row slab (and
+  // prefetches) but reads values straight from the bound CSR, so:
+  // (a) layout vs gather is bit-for-bit for every width and both lane
+  // dispatches, and (b) in-place value rewrites are visible through the
+  // layout path with NO refresh call — unlike the solve kernels' packed
+  // value copies. Under RTL_LAYOUT=OFF builds select_layout is a no-op.
+  ThreadTeam team(GetParam());
+  auto sys = five_point(21, 18);  // 378 rows: spans two index slabs
+  const index_t n = sys.a.rows();
+  auto kernel = SpMVKernel::bind(sys.a);
+
+  EXPECT_EQ(kernel.layout_enabled(), layout_bind_default());
+  kernel.select_layout(true);
+  EXPECT_EQ(kernel.layout_enabled(), layout_compiled());
+  if (layout_compiled()) {
+    ASSERT_NE(kernel.layout(), nullptr);
+    EXPECT_GT(kernel.layout_bytes(), 0u);
+  } else {
+    EXPECT_EQ(kernel.layout_bytes(), 0u);
+  }
+
+  for (int round = 0; round < 2; ++round) {
+    if (round == 1) {
+      // Re-factorization stand-in: rewrite the bound values in place.
+      for (auto& v : sys.a.values()) v *= -1.5;
+    }
+    // Single-vector path.
+    const auto x = ramp(n, 2.0);
+    std::vector<real_t> y_gather(static_cast<std::size_t>(n));
+    std::vector<real_t> y_layout(y_gather.size());
+    kernel.select_layout(false);
+    kernel.apply(team, x, y_gather);
+    kernel.select_layout(true);
+    kernel.apply(team, x, y_layout);
+    EXPECT_EQ(y_layout, y_gather) << "round=" << round;
+
+    // Batched, both lane dispatches.
+    for (const bool simd : {false, true}) {
+      kernel.select_simd(simd);
+      for (const index_t k : {1, 3, 8}) {
+        BatchBuffer bx(n, k), by_gather(n, k), by_layout(n, k);
+        for (index_t j = 0; j < k; ++j) {
+          bx.set_column(j, ramp(n, 1.0 + static_cast<real_t>(j)));
+        }
+        kernel.select_layout(false);
+        kernel.apply(team, bx.view(), by_gather.view());
+        kernel.select_layout(true);
+        kernel.apply(team, bx.view(), by_layout.view());
+        for (index_t j = 0; j < k; ++j) {
+          for (index_t i = 0; i < n; ++i) {
+            ASSERT_EQ(by_layout.view().at(i, j), by_gather.view().at(i, j))
+                << "round=" << round << " simd=" << simd << " k=" << k
+                << " col=" << j << " row=" << i;
+          }
+        }
+      }
+    }
+    kernel.select_simd(true);
+  }
+}
+
 TEST_P(SpMVKernelTest, FloatBatchedApplySatisfiesSingleRoundingModel) {
   // The mixed path accumulates every row sum in double and rounds once on
   // the store, so against the double apply of the *promoted* float input

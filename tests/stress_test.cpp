@@ -13,12 +13,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <vector>
 
 #include "core/plan.hpp"
 #include "graph/dependence_graph.hpp"
+#include "kernel/batch.hpp"
+#include "kernel/bound_kernel.hpp"
 #include "runtime/thread_team.hpp"
+#include "sparse/csr.hpp"
 #include "test_rng.hpp"
 
 namespace rtl {
@@ -181,6 +185,65 @@ TEST_P(SchedulerStressTest, PipelinedSharedStateSurvivesWidthChurn) {
       plan.execute_batch(team, k, body, state);
     }
     ASSERT_EQ(x, ref) << "k=" << k;
+  }
+}
+
+TEST_P(SchedulerStressTest, LayoutKernelSurvivesWidthChurnOversubscribed) {
+  // The bind-time execution layout is shared immutable state read by
+  // every worker through raw pointers; batch-width churn re-sizes the
+  // per-execution lane scratch but must never touch the packing. One
+  // kernel, an oversubscribed pipelined team (workers descheduled
+  // mid-protocol — exactly what TSan + oversubscription provoke), widths
+  // alternating 1/16/4/16/1, every solve pinned bit-for-bit to the
+  // gather dispatch of the same kernel.
+  const auto param = GetParam();
+  const std::uint64_t seed = test_seed(param.seed);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto g = random_dag(param.n, param.max_deg, seed);
+  const index_t n = g.size();
+
+  // Unit-lower CSR over the DAG edges with deterministic random values.
+  std::mt19937_64 vrng(seed ^ 0x10c0ed);
+  std::uniform_real_distribution<real_t> vdist(-1.0, 1.0);
+  std::vector<index_t> ptr{0};
+  std::vector<index_t> col;
+  std::vector<real_t> val;
+  for (index_t i = 0; i < n; ++i) {
+    for (const index_t d : g.deps(i)) {
+      col.push_back(d);
+      val.push_back(vdist(vrng));
+    }
+    ptr.push_back(static_cast<index_t>(col.size()));
+  }
+  const CsrMatrix lower(n, n, std::move(ptr), std::move(col),
+                        std::move(val));
+
+  ThreadTeam team(8);
+  DoconsiderOptions opts;
+  opts.execution = ExecutionPolicy::kPipelined;
+  opts.panel = 3;
+  auto kernel = BoundKernel::lower(
+      std::make_shared<const Plan>(team, DependenceGraph(g), opts), lower);
+
+  std::mt19937_64 rng(seed ^ 0xFACADE);
+  std::uniform_real_distribution<real_t> dist(-4.0, 4.0);
+  for (const index_t k : {1, 16, 4, 16, 1}) {
+    BatchBuffer rhs(n, k), got_gather(n, k), got_layout(n, k);
+    for (index_t j = 0; j < k; ++j) {
+      std::vector<real_t> colv(static_cast<std::size_t>(n));
+      for (auto& v : colv) v = dist(rng);
+      rhs.set_column(j, colv);
+    }
+    kernel.select_layout(false);
+    kernel.solve(team, rhs.view(), got_gather.view());
+    kernel.select_layout(true);
+    kernel.solve(team, rhs.view(), got_layout.view());
+    for (index_t j = 0; j < k; ++j) {
+      for (index_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got_layout.view().at(i, j), got_gather.view().at(i, j))
+            << "k=" << k << " col=" << j << " row=" << i;
+      }
+    }
   }
 }
 
